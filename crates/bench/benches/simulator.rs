@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast can the
+//! discrete-event engine execute each collective's schedule? These guard
+//! against performance regressions in the simulation core (the paper
+//! reproduction sweeps run hundreds of thousands of collective
+//! executions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::{Machine, OpClass, Rank};
+
+fn collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_execution");
+    for op in [OpClass::Bcast, OpClass::Alltoall, OpClass::Barrier] {
+        for p in [16usize, 64] {
+            let machine = Machine::t3d();
+            let comm = machine.communicator(p).unwrap();
+            let schedule = comm.schedule(op, Rank(0), 1024).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(op.paper_name().replace(' ', "_"), p),
+                &p,
+                |b, _| b.iter(|| comm.run(&schedule).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_comparison");
+    for machine in Machine::all() {
+        let comm = machine.communicator(32).unwrap();
+        let schedule = comm.schedule(OpClass::Alltoall, Rank(0), 4096).unwrap();
+        group.bench_function(machine.name().replace(' ', "_"), |b| {
+            b.iter(|| comm.run(&schedule).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn routing(c: &mut Criterion) {
+    use topo::{Mesh2d, NodeId, Omega, Topology, Torus3d};
+    let mut group = c.benchmark_group("routing");
+    let torus = Torus3d::for_nodes(64);
+    let mesh = Mesh2d::for_nodes(128);
+    let omega = Omega::sp2(128);
+    group.bench_function("torus64_all_pairs", |b| {
+        b.iter(|| {
+            let mut h = 0usize;
+            for s in 0..64 {
+                for d in 0..64 {
+                    h += torus.route(NodeId(s), NodeId(d)).hops();
+                }
+            }
+            h
+        })
+    });
+    group.bench_function("mesh128_all_pairs", |b| {
+        b.iter(|| {
+            let mut h = 0usize;
+            for s in 0..128 {
+                for d in 0..128 {
+                    h += mesh.route(NodeId(s), NodeId(d)).hops();
+                }
+            }
+            h
+        })
+    });
+    group.bench_function("omega128_all_pairs", |b| {
+        b.iter(|| {
+            let mut h = 0usize;
+            for s in 0..128 {
+                for d in 0..128 {
+                    h += omega.route(NodeId(s), NodeId(d)).hops();
+                }
+            }
+            h
+        })
+    });
+    group.finish();
+}
+
+fn measurement_pipeline(c: &mut Criterion) {
+    use harness::{measure, Protocol};
+    let mut group = c.benchmark_group("paper_measurement");
+    group.sample_size(10);
+    let machine = Machine::sp2();
+    let comm = machine.communicator(32).unwrap();
+    for op in [
+        OpClass::Bcast,
+        OpClass::Alltoall,
+        OpClass::Scatter,
+        OpClass::Gather,
+        OpClass::Scan,
+        OpClass::Reduce,
+        OpClass::Barrier,
+    ] {
+        let m = if op == OpClass::Barrier { 0 } else { 1024 };
+        group.bench_function(op.paper_name().replace(' ', "_"), |b| {
+            b.iter(|| measure(&comm, op, m, &Protocol::quick()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn event_queues(c: &mut Criterion) {
+    use desim::{Engine, SimTime};
+    let mut group = c.benchmark_group("event_queue_backends");
+    for (name, make) in [
+        ("heap", Engine::<u64>::new as fn() -> Engine<u64>),
+        ("calendar", Engine::<u64>::with_calendar_queue as fn() -> Engine<u64>),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = make();
+                let mut world = 0u64;
+                // Dense self-rescheduling population: 64 actors x 100 steps.
+                for actor in 0..64u64 {
+                    fn tick(n: u32, stride: u64) -> desim::EventFn<u64> {
+                        Box::new(move |s, w: &mut u64| {
+                            *w += 1;
+                            if n > 0 {
+                                s.schedule_in(
+                                    desim::SimDuration::from_nanos(stride),
+                                    tick(n - 1, stride),
+                                );
+                            }
+                        })
+                    }
+                    engine.schedule_at(SimTime::from_nanos(actor * 17), tick(100, 97 + actor));
+                }
+                engine.run(&mut world);
+                world
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = collectives, machines, routing, event_queues, measurement_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Calibration report: simulated `T(m, p)` against the paper's Table 3
+//! predictions over a reference grid. Ratios near 1.0 mean the simulator
+//! lands on the published surface; the report is used to tune the
+//! software-cost tables in `netmodel::machines` (DESIGN.md §7).
+
+use bench::{machines, ratio_to_paper, timed, Cli, SIX_OPS};
+use harness::{measure, Protocol};
+use mpisim::OpClass;
+use report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    let protocol = if cli.quick {
+        Protocol::quick()
+    } else {
+        // Calibration wants low noise more than full fidelity.
+        let mut p = Protocol::paper();
+        p.repetitions = 2;
+        p
+    };
+
+    let grid_m = [4u32, 1_024, 65_536];
+    let grid_p = [2usize, 8, 32, 64];
+
+    for machine in machines() {
+        let mut table = Table::new(["Operation", "m\\p", "2", "8", "32", "64"]);
+        let ops: Vec<OpClass> = SIX_OPS.iter().copied().chain([OpClass::Barrier]).collect();
+        timed(machine.name(), || {
+            for op in ops {
+                let m_values: &[u32] = if op == OpClass::Barrier { &[0] } else { &grid_m };
+                for &m in m_values {
+                    let mut cells = vec![op.paper_name().to_string(), format!("{m}")];
+                    for &p in &grid_p {
+                        if p > machine.spec().max_nodes {
+                            cells.push("-".into());
+                            continue;
+                        }
+                        let comm = machine.communicator(p).expect("size in range");
+                        let meas = measure(&comm, op, m, &protocol).expect("measure");
+                        let cell = match ratio_to_paper(machine.name(), op, m, p, meas.time_us)
+                        {
+                            Some(r) => format!("{r:.2}"),
+                            None => format!("[{:.0}us]", meas.time_us),
+                        };
+                        cells.push(cell);
+                    }
+                    table.push_row(cells);
+                }
+            }
+        });
+        println!("\n== {} — sim/published ratio (1.00 = exact) ==", machine.name());
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,162 @@
+//! Interactive query tool: time one collective configuration and show
+//! everything the library knows about it — the measured value, the
+//! paper's Table-3 prediction, the startup/transmission split, traffic
+//! counters, and the message timeline.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin explore -- \
+//!     --machine t3d --op alltoall --nodes 64 --bytes 65536
+//! ```
+
+use bench::machine_id;
+use harness::{measure, Protocol};
+use mpisim::{Machine, OpClass, Rank};
+use perfmodel::paper;
+use report::{Timeline, TimelineMessage};
+
+struct Args {
+    machine: Machine,
+    op: OpClass,
+    nodes: usize,
+    bytes: u32,
+    timeline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut machine = Machine::t3d();
+    let mut op = OpClass::Alltoall;
+    let mut nodes = 16usize;
+    let mut bytes = 1_024u32;
+    let mut timeline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--machine" => {
+                machine = match value()?.to_lowercase().as_str() {
+                    "sp2" => Machine::sp2(),
+                    "t3d" => Machine::t3d(),
+                    "paragon" => Machine::paragon(),
+                    other => return Err(format!("unknown machine {other}")),
+                }
+            }
+            "--op" => {
+                let name = value()?.to_lowercase();
+                op = match name.as_str() {
+                    "bcast" | "broadcast" => OpClass::Bcast,
+                    "alltoall" | "total-exchange" => OpClass::Alltoall,
+                    "scatter" => OpClass::Scatter,
+                    "gather" => OpClass::Gather,
+                    "scan" => OpClass::Scan,
+                    "reduce" => OpClass::Reduce,
+                    "barrier" => OpClass::Barrier,
+                    other => return Err(format!("unknown operation {other}")),
+                };
+            }
+            "--nodes" => nodes = value()?.parse().map_err(|e| format!("bad nodes: {e}"))?,
+            "--bytes" => bytes = value()?.parse().map_err(|e| format!("bad bytes: {e}"))?,
+            "--timeline" => timeline = true,
+            "--help" | "-h" => {
+                return Err("usage: explore --machine sp2|t3d|paragon --op <collective> \
+                     --nodes N --bytes M [--timeline]"
+                    .into())
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        machine,
+        op,
+        nodes,
+        bytes,
+        timeline,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Args {
+        machine,
+        op,
+        nodes,
+        bytes,
+        timeline,
+    } = args;
+    let bytes = if op == OpClass::Barrier { 0 } else { bytes };
+
+    let comm = match machine.communicator(nodes) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{} — {} of {} B over {} nodes ({})",
+        machine.name(),
+        op.paper_name(),
+        bytes,
+        nodes,
+        machine.spec().topology.build(nodes).describe()
+    );
+
+    // Paper-methodology measurement.
+    let meas = measure(&comm, op, bytes, &Protocol::paper()).expect("measure");
+    println!(
+        "\nmeasured (paper methodology): {:.1} us  (min {:.1}, mean {:.1} across ranks)",
+        meas.time_us, meas.min_time_us, meas.mean_time_us
+    );
+
+    // Published prediction, if this is a paper machine/op.
+    if let Some(f) = machine_id(machine.name()).and_then(|id| paper::table3(id, op)) {
+        let pred = f.predict_us(bytes, nodes);
+        println!(
+            "paper's Table 3 predicts:     {:.1} us  (T0 {:.1} + D {:.1}; sim/paper = {:.2})",
+            pred,
+            f.startup_us(nodes),
+            f.transmission_us(bytes, nodes),
+            meas.time_us / pred.max(1e-9),
+        );
+    }
+
+    // Cold-start run with diagnostics.
+    let schedule = comm.schedule(op, Rank(0), bytes).expect("schedule");
+    let out = comm.run_diagnosed(&schedule).expect("run");
+    println!(
+        "cold-start single run:        {:.1} us;  {} messages, {} payload bytes",
+        out.rank_segment_time(0, (0..nodes).max_by_key(|&r| out.finish[0][r]).unwrap_or(0))
+            .as_micros_f64(),
+        out.messages,
+        out.bytes,
+    );
+    if let Some(&(link, busy)) = out.link_loads.first() {
+        println!(
+            "hottest link: l{link} busy {:.1} us across {} active links",
+            busy.as_micros_f64(),
+            out.link_loads.len()
+        );
+    }
+    if meas.aggregated_bytes() > 0 {
+        if let Some(r) = meas.aggregated_bandwidth_mb_s(0.0) {
+            println!("aggregated bandwidth at this point: {r:.0} MB/s (no startup subtracted)");
+        }
+    }
+
+    if timeline {
+        let tl = Timeline::new("message timeline (cold start)", nodes).messages(
+            out.trace.iter().map(|m| TimelineMessage {
+                src: m.src,
+                dst: m.dst,
+                posted: m.posted.as_micros_f64(),
+                delivered: m.delivered.as_micros_f64(),
+            }),
+        );
+        println!("\n{}", tl.render());
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 1 — startup latencies `T0(p)` of six MPI collective operations
+//! over the three multicomputers, 2 to 128 nodes.
+//!
+//! The paper approximates `T0` by the timing of a short message (§3); we
+//! use the 4-byte point of the grid, exactly as the figure does.
+
+use bench::{machines, symbol, timed, Cli, SIX_OPS};
+use harness::{SweepBuilder, PAPER_NODE_COUNTS};
+use report::{GnuplotFigure, LogChart, Series, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let data = timed("fig1 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS)
+            .message_sizes([4])
+            .node_counts(PAPER_NODE_COUNTS)
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("fig1", &data);
+
+    for op in SIX_OPS {
+        let mut chart = LogChart::new(
+            format!("FIGURE 1 ({}) — startup latency T0(p) [us]", op.paper_name()),
+            "p, machine size",
+            "T0 (us)",
+        );
+        let mut table = Table::new(["p", "SP2 (us)", "Paragon (us)", "T3D (us)"]);
+        let series: Vec<Vec<(usize, f64)>> = machines()
+            .iter()
+            .map(|m| data.series_vs_nodes(m.name(), op, 4))
+            .collect();
+        for (mach, pts) in machines().iter().zip(&series) {
+            chart = chart.series(Series::new(
+                mach.name(),
+                symbol(mach.name()),
+                pts.iter().map(|&(p, t)| (p as f64, t)).collect(),
+            ));
+        }
+        for &p in &PAPER_NODE_COUNTS {
+            let cell = |s: &Vec<(usize, f64)>| {
+                s.iter()
+                    .find(|&&(sp, _)| sp == p)
+                    .map(|&(_, t)| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.push_row([
+                p.to_string(),
+                cell(&series[0]),
+                cell(&series[1]),
+                cell(&series[2]),
+            ]);
+        }
+        println!("\n{}", chart.render());
+        print!("{}", table.render());
+
+        // With --out DIR, also emit a gnuplot script per panel.
+        if let Some(dir) = &cli.out {
+            let mut fig = GnuplotFigure::new(
+                format!("Fig. 1 ({}) — startup latency T0(p)", op.paper_name()),
+                "p, machine size",
+                "T0 (us)",
+            );
+            for (mach, pts) in machines().iter().zip(&series) {
+                fig = fig.series(Series::new(
+                    mach.name(),
+                    symbol(mach.name()),
+                    pts.iter().map(|&(p, t)| (p as f64, t)).collect(),
+                ));
+            }
+            let path = format!("{dir}/fig1_{}.gp", op.paper_name().replace(' ', "_"));
+            if let Err(e) = std::fs::write(&path, fig.render()) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 2 — collective messaging times `T(m, 32)` of six MPI collective
+//! operations as a function of the message length, on 32 nodes.
+
+use bench::{machines, symbol, timed, Cli, SIX_OPS};
+use harness::{SweepBuilder, PAPER_MESSAGE_SIZES};
+use report::{LogChart, Series, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let data = timed("fig2 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS)
+            .message_sizes(PAPER_MESSAGE_SIZES)
+            .node_counts([32])
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("fig2", &data);
+
+    for op in SIX_OPS {
+        let mut chart = LogChart::new(
+            format!(
+                "FIGURE 2 ({}) — T(m, 32) vs message length [us]",
+                op.paper_name()
+            ),
+            "m, message length (bytes)",
+            "T (us)",
+        );
+        let mut table = Table::new(["m (B)", "SP2 (us)", "Paragon (us)", "T3D (us)"]);
+        let series: Vec<Vec<(u32, f64)>> = machines()
+            .iter()
+            .map(|m| data.series_vs_bytes(m.name(), op, 32))
+            .collect();
+        for (mach, pts) in machines().iter().zip(&series) {
+            chart = chart.series(Series::new(
+                mach.name(),
+                symbol(mach.name()),
+                pts.iter().map(|&(m, t)| (f64::from(m), t)).collect(),
+            ));
+        }
+        for &m in &PAPER_MESSAGE_SIZES {
+            let cell = |s: &Vec<(u32, f64)>| {
+                s.iter()
+                    .find(|&&(sm, _)| sm == m)
+                    .map(|&(_, t)| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.push_row([
+                m.to_string(),
+                cell(&series[0]),
+                cell(&series[1]),
+                cell(&series[2]),
+            ]);
+        }
+        println!("\n{}", chart.render());
+        print!("{}", table.render());
+    }
+}

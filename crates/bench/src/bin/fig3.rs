@@ -1,0 +1,112 @@
+//! Fig. 3 — collective messaging times `T(m, p)` as a function of
+//! machine size, for short (16 B) and long (64 KB) messages, seven
+//! panels (the six collectives plus the barrier in panel g).
+
+use bench::{machines, symbol, timed, Cli, SIX_OPS};
+use harness::{Dataset, SweepBuilder, PAPER_NODE_COUNTS};
+use mpisim::OpClass;
+use report::{LogChart, Series, Table};
+
+fn panel(data: &Dataset, op: OpClass, sizes: &[u32]) {
+    let mut chart = LogChart::new(
+        format!(
+            "FIGURE 3 ({}) — T(m, p) vs machine size; short = 16 B, long = 64 KB",
+            op.paper_name()
+        ),
+        "p, machine size",
+        "T (us)",
+    );
+    let mut table = Table::new([
+        "p".to_string(),
+        "SP2 short".into(),
+        "Paragon short".into(),
+        "T3D short".into(),
+        "SP2 long".into(),
+        "Paragon long".into(),
+        "T3D long".into(),
+    ]);
+    let mut all: Vec<Vec<(usize, f64)>> = Vec::new();
+    for &m in sizes {
+        for mach in machines() {
+            let pts = data.series_vs_nodes(mach.name(), op, m);
+            let sym = if m > 1000 {
+                symbol(mach.name()).to_ascii_uppercase()
+            } else {
+                symbol(mach.name())
+            };
+            chart = chart.series(Series::new(
+                format!("{} {}B", mach.name(), m),
+                sym,
+                pts.iter().map(|&(p, t)| (p as f64, t)).collect(),
+            ));
+            all.push(pts);
+        }
+    }
+    for &p in &PAPER_NODE_COUNTS {
+        let mut row = vec![p.to_string()];
+        for s in &all {
+            row.push(
+                s.iter()
+                    .find(|&&(sp, _)| sp == p)
+                    .map(|&(_, t)| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push_row(row);
+    }
+    println!("\n{}", chart.render());
+    print!("{}", table.render());
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let data = timed("fig3 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS.iter().copied().chain([OpClass::Barrier]))
+            .message_sizes([16, 65_536])
+            .node_counts(PAPER_NODE_COUNTS)
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("fig3", &data);
+
+    for op in SIX_OPS {
+        panel(&data, op, &[16, 65_536]);
+    }
+    // Panel (g): barrier — no message length.
+    let mut chart = LogChart::new(
+        "FIGURE 3 (g) — Barrier time vs machine size",
+        "p, machine size",
+        "T (us)",
+    );
+    let mut table = Table::new(["p", "SP2 (us)", "Paragon (us)", "T3D (us)"]);
+    let series: Vec<Vec<(usize, f64)>> = machines()
+        .iter()
+        .map(|m| data.series_vs_nodes(m.name(), OpClass::Barrier, 0))
+        .collect();
+    for (mach, pts) in machines().iter().zip(&series) {
+        chart = chart.series(Series::new(
+            mach.name(),
+            symbol(mach.name()),
+            pts.iter().map(|&(p, t)| (p as f64, t)).collect(),
+        ));
+    }
+    for &p in &PAPER_NODE_COUNTS {
+        let cell = |s: &Vec<(usize, f64)>| {
+            s.iter()
+                .find(|&&(sp, _)| sp == p)
+                .map(|&(_, t)| format!("{t:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push_row([
+            p.to_string(),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+        ]);
+    }
+    println!("\n{}", chart.render());
+    print!("{}", table.render());
+}

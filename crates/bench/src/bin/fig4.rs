@@ -1,0 +1,65 @@
+//! Fig. 4 — breakdown of timing results into startup latency and
+//! transmission delay for six MPI collective operations over p = 32
+//! nodes with m = 1 KB per message.
+//!
+//! The startup portion comes from the fitted `T0(p)` surface (§3); the
+//! white bar of the paper is `D = T - T0`.
+
+use bench::{machines, timed, Cli, SIX_OPS};
+use harness::SweepBuilder;
+use perfmodel::breakdown;
+use report::Table;
+
+const P: usize = 32;
+const M: u32 = 1_024;
+
+fn main() {
+    let cli = Cli::parse();
+    // The breakdown needs the T0 fit, so sweep the m grid at several p.
+    let data = timed("fig4 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS)
+            .message_sizes([4, 64, 1_024, 16_384, 65_536])
+            .node_counts([2, 4, 8, 16, 32, 64])
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("fig4", &data);
+
+    println!("\nFIGURE 4 — timing breakdown at p = {P}, m = {M} B");
+    let mut table = Table::new([
+        "Operation",
+        "Machine",
+        "T total (us)",
+        "T0 startup (us)",
+        "D transmission (us)",
+        "startup %",
+        "bar",
+    ]);
+    for op in SIX_OPS {
+        for mach in machines() {
+            let b = breakdown(&data, mach.name(), op, M, P).expect("breakdown");
+            let frac = b.startup_fraction();
+            // A 30-char bar: '#' startup, '.' transmission (log-free,
+            // proportional within the row like the paper's stacked bars).
+            let filled = (frac * 30.0).round() as usize;
+            let bar: String = "#".repeat(filled) + &".".repeat(30 - filled);
+            table.push_row([
+                op.paper_name().to_string(),
+                mach.name().to_string(),
+                format!("{:.0}", b.total_us),
+                format!("{:.0}", b.startup_us),
+                format!("{:.0}", b.transmission_us),
+                format!("{:.0}%", frac * 100.0),
+                bar,
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\nPaper's observations to check: total exchange demands the longest time;\n\
+         Paragon alltoall/gather startup is several times the SP2/T3D's."
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 5 — aggregated bandwidths `R∞(p)` of the collective operations
+//! on the three machines, for p = 8, 32, and 128 (64 for the T3D).
+//!
+//! `R∞(p) = lim_{m→∞} f(m, p) / D(m, p)` from the fitted per-byte
+//! surface (§8, Eq. 4).
+
+use bench::{machines, timed, Cli, SIX_OPS};
+use harness::SweepBuilder;
+use perfmodel::bandwidth_series;
+use report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    let data = timed("fig5 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS)
+            .message_sizes([4, 1_024, 16_384, 65_536])
+            .node_counts([2, 4, 8, 16, 32, 64, 128])
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("fig5", &data);
+
+    println!("\nFIGURE 5 — aggregated bandwidth R_inf(p) [MB/s]");
+    for op in SIX_OPS {
+        let mut table = Table::new(["Machine", "p=8", "p=32", "p=64", "p=128"]);
+        for mach in machines() {
+            let series = bandwidth_series(&data, mach.name(), op).expect("series");
+            let cell = |p: usize| {
+                series
+                    .iter()
+                    .find(|b| b.nodes == p)
+                    .map(|b| format!("{:.0}", b.mb_s))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.push_row([
+                mach.name().to_string(),
+                cell(8),
+                cell(32),
+                cell(64),
+                cell(128),
+            ]);
+        }
+        println!("\n-- {} --", op.paper_name());
+        print!("{}", table.render());
+    }
+    println!(
+        "\nPaper's §8 reference points (64-node total exchange): \n\
+         T3D 1745 MB/s, Paragon 879 MB/s, SP2 818 MB/s."
+    );
+}

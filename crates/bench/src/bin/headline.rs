@@ -1,0 +1,133 @@
+//! The paper's headline numbers (§1, §4, §5, §8), measured on the
+//! simulator and compared against the published values:
+//!
+//! * T3D hardwired barrier ≈ 3 µs, ≥30× faster than SP2/Paragon;
+//! * T3D 64-node startup latencies for the six collectives;
+//! * SP2 total exchange of 64 KB over 64 nodes ≈ 317 ms;
+//! * 64-node total-exchange aggregated bandwidths 1.745 / 0.879 /
+//!   0.818 GB/s (T3D / Paragon / SP2);
+//! * all collectives with 64 KB over 64 nodes complete within
+//!   (5.12 ms, 675 ms).
+
+use bench::{timed, Cli, SIX_OPS};
+use harness::{measure, SweepBuilder};
+use mpisim::{Machine, OpClass};
+use perfmodel::{bandwidth_series, paper};
+use report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    let protocol = cli.protocol();
+
+    // --- Barrier headline ---
+    let barrier_us: Vec<(String, f64)> = timed("barriers", || {
+        [Machine::sp2(), Machine::paragon(), Machine::t3d()]
+            .iter()
+            .map(|m| {
+                let comm = m.communicator(64).expect("64 nodes");
+                let meas = measure(&comm, OpClass::Barrier, 0, &protocol).expect("measure");
+                (m.name().to_string(), meas.time_us)
+            })
+            .collect()
+    });
+    println!("\n== Barrier synchronization at 64 nodes ==");
+    let mut t = Table::new(["Machine", "simulated (us)", "paper"]);
+    for (name, us) in &barrier_us {
+        let paper_note = match name.as_str() {
+            "Cray T3D" => format!("~{} us (hardwired)", paper::T3D_BARRIER_US),
+            _ => "software barrier".to_string(),
+        };
+        t.push_row([name.clone(), format!("{us:.2}"), paper_note]);
+    }
+    print!("{}", t.render());
+    let t3d = barrier_us.iter().find(|(n, _)| n == "Cray T3D").unwrap().1;
+    let others_min = barrier_us
+        .iter()
+        .filter(|(n, _)| n != "Cray T3D")
+        .map(|&(_, us)| us)
+        .fold(f64::MAX, f64::min);
+    println!(
+        "speedup over best software barrier: {:.0}x (paper claims at least 30x)",
+        others_min / t3d
+    );
+
+    // --- T3D 64-node startup latencies ---
+    println!("\n== T3D startup latencies at 64 nodes (short-message proxy) ==");
+    let comm = Machine::t3d().communicator(64).expect("64 nodes");
+    let mut t = Table::new(["Operation", "simulated (us)", "paper (us)", "ratio"]);
+    timed("t3d latencies", || {
+        for (op, published) in paper::T3D_64_NODE_LATENCIES_US {
+            let meas = measure(&comm, op, 4, &protocol).expect("measure");
+            t.push_row([
+                op.paper_name().to_string(),
+                format!("{:.0}", meas.time_us),
+                format!("{published:.0}"),
+                format!("{:.2}", meas.time_us / published),
+            ]);
+        }
+    });
+    print!("{}", t.render());
+
+    // --- SP2 64 KB / 64-node total exchange ---
+    let comm = Machine::sp2().communicator(64).expect("64 nodes");
+    let sp2_a2a = timed("sp2 alltoall", || {
+        measure(&comm, OpClass::Alltoall, 65_536, &protocol).expect("measure")
+    });
+    println!(
+        "\n== SP2 total exchange, 64 KB x 64 nodes ==\n\
+         simulated {:.0} ms, paper {:.0} ms (ratio {:.2}); total volume {} MB",
+        sp2_a2a.time_us / 1000.0,
+        paper::SP2_ALLTOALL_64KB_64N_MS,
+        sp2_a2a.time_us / 1000.0 / paper::SP2_ALLTOALL_64KB_64N_MS,
+        sp2_a2a.aggregated_bytes() / 1_000_000,
+    );
+
+    // --- Aggregated bandwidths at 64 nodes ---
+    println!("\n== Aggregated bandwidth, 64-node total exchange ==");
+    let data = timed("bandwidth sweep", || {
+        SweepBuilder::new()
+            .ops([OpClass::Alltoall])
+            .message_sizes([4, 1_024, 16_384, 65_536])
+            .node_counts([2, 4, 8, 16, 32, 64])
+            .protocol(protocol.clone())
+            .run()
+            .expect("sweep")
+    });
+    let mut t = Table::new(["Machine", "simulated (GB/s)", "paper (GB/s)", "ratio"]);
+    for (id, published) in paper::ALLTOALL_64_BANDWIDTH_GB_S {
+        let machine = Machine::from_id(id);
+        let series = bandwidth_series(&data, machine.name(), OpClass::Alltoall).expect("fit");
+        let sim = series
+            .iter()
+            .find(|b| b.nodes == 64)
+            .map(|b| b.mb_s / 1000.0)
+            .unwrap_or(f64::NAN);
+        t.push_row([
+            machine.name().to_string(),
+            format!("{sim:.3}"),
+            format!("{published:.3}"),
+            format!("{:.2}", sim / published),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // --- 64 KB / 64-node completion-time range ---
+    println!("\n== All collectives, 64 KB x 64 nodes: completion range ==");
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    timed("range sweep", || {
+        for machine in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
+            let comm = machine.communicator(64).expect("64 nodes");
+            for op in SIX_OPS {
+                let meas = measure(&comm, op, 65_536, &protocol).expect("measure");
+                lo = lo.min(meas.time_us);
+                hi = hi.max(meas.time_us);
+            }
+        }
+    });
+    println!(
+        "simulated range ({:.2} ms, {:.0} ms); paper reports (5.12 ms, 675 ms)",
+        lo / 1000.0,
+        hi / 1000.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Network hotspot analysis: where does each topology concentrate load?
+//!
+//! Runs a 64-node total exchange on all three machines with link-load
+//! recording and reports the distribution — the Paragon's mesh funnels
+//! bisection traffic through its center columns, the T3D torus spreads
+//! it across wrap links, and the SP2's Omega concentrates on shared
+//! interior wire columns. Quantifies the "routing delays in the 2-D
+//! mesh network" the paper blames for Paragon latency (§4).
+
+use bench::Cli;
+use desim::SimDuration;
+use mpisim::{Machine, OpClass, Rank};
+use report::Table;
+
+const P: usize = 64;
+const M: u32 = 4_096;
+
+fn main() {
+    let _cli = Cli::parse();
+    println!("Link-load distribution: total exchange, {M} B x {P} nodes\n");
+    let mut summary = Table::new([
+        "Machine",
+        "topology",
+        "active links",
+        "max busy",
+        "mean busy",
+        "imbalance",
+    ]);
+    for machine in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
+        let comm = machine.communicator(P).expect("size");
+        let schedule = comm.schedule(OpClass::Alltoall, Rank(0), M).expect("schedule");
+        let out = comm.run_diagnosed(&schedule).expect("run");
+        let loads = &out.link_loads;
+        let n = loads.len().max(1);
+        let total: SimDuration = loads.iter().map(|&(_, b)| b).sum();
+        let mean_us = total.as_micros_f64() / n as f64;
+        let max_us = loads.first().map(|&(_, b)| b.as_micros_f64()).unwrap_or(0.0);
+        summary.push_row([
+            machine.name().to_string(),
+            machine.spec().topology.build(P).describe(),
+            n.to_string(),
+            format!("{max_us:.0} us"),
+            format!("{mean_us:.0} us"),
+            format!("{:.2}x", max_us / mean_us.max(1e-9)),
+        ]);
+        println!("-- {} : ten hottest links --", machine.name());
+        let mut t = Table::new(["link", "busy (us)", "share of total"]);
+        for &(id, busy) in loads.iter().take(10) {
+            t.push_row([
+                format!("l{id}"),
+                format!("{:.0}", busy.as_micros_f64()),
+                format!(
+                    "{:.1}%",
+                    100.0 * busy.as_micros_f64() / total.as_micros_f64()
+                ),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("== Summary ==");
+    print!("{}", summary.render());
+    println!("\n(imbalance = hottest link / mean active link; 1.0 = perfectly spread)");
+}

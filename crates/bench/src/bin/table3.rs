@@ -1,0 +1,69 @@
+//! Table 3 — closed-form timing expressions for the seven collective
+//! operations on the three machines, fitted from the full simulated
+//! `T(m, p)` grid with the paper's §3 procedure, printed beside the
+//! published rows.
+
+use bench::{machine_id, machines, timed, Cli, SIX_OPS};
+use harness::{SweepBuilder, PAPER_MESSAGE_SIZES, PAPER_NODE_COUNTS};
+use mpisim::OpClass;
+use perfmodel::{fit_surface, paper};
+use report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    let data = timed("table3 sweep", || {
+        SweepBuilder::new()
+            .machines(machines())
+            .ops(SIX_OPS.iter().copied().chain([OpClass::Barrier]))
+            .message_sizes(PAPER_MESSAGE_SIZES)
+            .node_counts(PAPER_NODE_COUNTS)
+            .protocol(cli.protocol())
+            .run()
+            .expect("sweep")
+    });
+    cli.maybe_write_csv("table3", &data);
+
+    println!("\nTABLE 3 — fitted timing expressions T(m,p) = T0(p) + D(m,p)·m  [us; m in bytes]");
+    let mut table = Table::new(["Operation", "Machine", "Fitted (this work)", "Published (paper)"]);
+    for op in SIX_OPS.iter().copied().chain([OpClass::Barrier]) {
+        for mach in machines() {
+            let fitted = fit_surface(&data, mach.name(), op).expect("fit");
+            let published = machine_id(mach.name())
+                .and_then(|id| paper::table3(id, op))
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".into());
+            table.push_row([
+                op.paper_name().to_string(),
+                mach.name().to_string(),
+                if op == OpClass::Barrier {
+                    fitted.startup.to_string()
+                } else {
+                    fitted.to_string()
+                },
+                published,
+            ]);
+        }
+    }
+    print!("{}", table.render());
+
+    // Startup-growth summary (§8): O(log p) for barrier/scan/reduce/
+    // broadcast, O(p) for gather/scatter/total exchange.
+    println!("\nStartup growth families (fitted vs expected):");
+    let mut growth = Table::new(["Operation", "Expected", "SP2", "Paragon", "T3D"]);
+    for op in SIX_OPS.iter().copied().chain([OpClass::Barrier]) {
+        let mut row = vec![
+            op.paper_name().to_string(),
+            if op.startup_is_logarithmic() {
+                "O(log p)".to_string()
+            } else {
+                "O(p)".to_string()
+            },
+        ];
+        for mach in machines() {
+            let f = fit_surface(&data, mach.name(), op).expect("fit");
+            row.push(format!("O({})", f.startup.growth.symbol().replace(' ', "")));
+        }
+        growth.push_row(row);
+    }
+    print!("{}", growth.render());
+}

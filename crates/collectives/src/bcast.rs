@@ -1,0 +1,375 @@
+//! Broadcast algorithms.
+//!
+//! The vendor libraries of the era used tree broadcasts: MPICH (SP2,
+//! Paragon) and CRI/EPCC MPI (T3D) both deliver via a binomial tree,
+//! giving the O(log p) startup the paper measures (§8). A linear
+//! root-sends-to-all variant is kept as a baseline/ablation.
+
+use crate::schedule::{ceil_log2, Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Binomial-tree broadcast (MPICH `MPIR_Bcast` shape): the root feeds the
+/// largest subtree first; every rank receives once from its parent, then
+/// forwards down its subtrees in decreasing size order.
+///
+/// Message depth is `ceil(log2 p)`.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::bcast::binomial;
+/// use collectives::schedule::Rank;
+///
+/// let s = binomial(8, Rank(0), 1024);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.total_messages(), 7);
+/// assert_eq!(s.message_depth(), 3);
+/// ```
+pub fn binomial(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Bcast, p);
+    let l = ceil_log2(p);
+    for v in 0..p {
+        // v is the relative (virtual) rank; translate to absolute.
+        let abs = |vr: usize| Rank((vr + root.0) % p);
+        let me = abs(v);
+        // Receive from parent: scan masks upward to the lowest set bit.
+        let mut mask = 1usize;
+        let mut recv_mask = 0usize;
+        while mask < (1 << l) {
+            if v & mask != 0 {
+                s.push(
+                    me,
+                    Step::Recv {
+                        from: abs(v - mask),
+                        bytes,
+                    },
+                );
+                recv_mask = mask;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children, biggest subtree first (descending masks
+        // below the receive mask, or from the top for the root).
+        let mut mask = if v == 0 { 1usize << l } else { recv_mask };
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < p {
+                s.push(
+                    me,
+                    Step::Send {
+                        to: abs(v + mask),
+                        bytes,
+                    },
+                );
+            }
+            mask >>= 1;
+        }
+    }
+    s
+}
+
+/// Linear broadcast: the root sends the message to every other rank in
+/// turn. O(p) startup at the root; depth 1. Baseline for ablation.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Bcast, p);
+    for i in 0..p {
+        if i == root.0 {
+            continue;
+        }
+        s.push(root, Step::Send { to: Rank(i), bytes });
+        s.push(Rank(i), Step::Recv { from: root, bytes });
+    }
+    s
+}
+
+
+/// Scatter–allgather broadcast (van de Geijn): the root binomial-scatters
+/// `bytes` into `p` blocks, then a ring allgather reassembles the full
+/// message everywhere. Moves each byte ~twice but pipelines both phases —
+/// the long-message algorithm later MPI libraries adopted.
+///
+/// Block sizes are `ceil(bytes / p)` with the last block truncated.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn scatter_allgather(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Bcast, p);
+    if p == 1 || bytes == 0 {
+        return s;
+    }
+    let block = bytes.div_ceil(p as u32);
+    // Block owned by virtual rank v after the scatter phase.
+    let owned = |v: usize| -> u32 {
+        let start = (v as u32).saturating_mul(block).min(bytes);
+        let end = ((v as u32 + 1).saturating_mul(block)).min(bytes);
+        end - start
+    };
+    // Bytes covering virtual ranks [v, v+span), for the scatter tree.
+    let span_bytes = |v: usize, span: usize| -> u32 {
+        (v..(v + span).min(p)).map(owned).sum()
+    };
+    let abs = |vr: usize| Rank((vr + root.0) % p);
+    let l = ceil_log2(p);
+
+    // Phase 1: binomial scatter of the blocks (same tree as the binomial
+    // broadcast, block-ranged payloads).
+    for v in 0..p {
+        let me = abs(v);
+        let mut recv_mask = 0usize;
+        let mut mask = 1usize;
+        while mask < (1 << l) {
+            if v & mask != 0 {
+                let b = span_bytes(v, mask);
+                if b > 0 {
+                    s.push(me, Step::Recv { from: abs(v - mask), bytes: b });
+                }
+                recv_mask = mask;
+                break;
+            }
+            mask <<= 1;
+        }
+        let mut mask = if v == 0 { 1usize << l } else { recv_mask };
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < p {
+                let b = span_bytes(v + mask, mask);
+                if b > 0 {
+                    s.push(me, Step::Send { to: abs(v + mask), bytes: b });
+                }
+            }
+            mask >>= 1;
+        }
+    }
+
+    // Phase 2: ring allgather — in round r, virtual rank v forwards the
+    // block of virtual rank (v - r + 1) to its successor.
+    for r in 1..p {
+        for v in 0..p {
+            let to = abs((v + 1) % p);
+            let from = abs((v + p - 1) % p);
+            let send_block = owned((v + p - (r - 1)) % p);
+            let recv_block = owned((v + p - r) % p);
+            if send_block > 0 {
+                s.push(abs(v), Step::Send { to, bytes: send_block });
+            }
+            if recv_block > 0 {
+                s.push(abs(v), Step::Recv { from, bytes: recv_block });
+            }
+        }
+    }
+    s
+}
+
+
+/// Pipelined chain broadcast: the message is carved into segments that
+/// stream down the rank chain `root → root+1 → …`; once the pipe fills,
+/// every link carries a segment concurrently, so the asymptotic cost is
+/// one traversal of `m` plus the fill time — the schedule of choice for
+/// very long messages on high-latency trees.
+///
+/// # Panics
+///
+/// Panics if `p == 0`, `root >= p`, or `segment == 0`.
+pub fn pipelined(p: usize, root: Rank, bytes: u32, segment: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    assert!(segment > 0, "segment must be positive");
+    let mut s = Schedule::new(OpClass::Bcast, p);
+    if p == 1 || bytes == 0 {
+        return s;
+    }
+    let abs = |vr: usize| Rank((vr + root.0) % p);
+    let full_segments = bytes / segment;
+    let tail = bytes % segment;
+    let chunks: Vec<u32> = (0..full_segments)
+        .map(|_| segment)
+        .chain((tail > 0).then_some(tail))
+        .collect();
+    for v in 0..p {
+        let me = abs(v);
+        for &chunk in &chunks {
+            if v > 0 {
+                s.push(me, Step::Recv { from: abs(v - 1), bytes: chunk });
+            }
+            if v + 1 < p {
+                s.push(me, Step::Send { to: abs(v + 1), bytes: chunk });
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_valid_for_all_sizes() {
+        for p in 1..=33 {
+            for root in [0, p / 2, p - 1] {
+                let s = binomial(p, Rank(root), 64);
+                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                assert_eq!(s.total_messages(), p - 1, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_depth_is_log() {
+        // Binomial-tree depth over p ranks is the max popcount of a
+        // virtual rank below p (== ceil(log2 p) only at powers of two).
+        for (p, d) in [(2, 1), (4, 2), (5, 2), (8, 3), (16, 4), (64, 6), (128, 7)] {
+            assert_eq!(binomial(p, Rank(0), 4).message_depth(), d, "p={p}");
+        }
+    }
+
+    #[test]
+    fn binomial_root_sends_log_messages() {
+        let s = binomial(64, Rank(0), 4);
+        let root_sends = s
+            .program(Rank(0))
+            .iter()
+            .filter(|st| matches!(st, Step::Send { .. }))
+            .count();
+        assert_eq!(root_sends, 6);
+    }
+
+    #[test]
+    fn binomial_biggest_subtree_first() {
+        let s = binomial(8, Rank(0), 4);
+        let targets: Vec<usize> = s
+            .program(Rank(0))
+            .iter()
+            .filter_map(|st| match st {
+                Step::Send { to, .. } => Some(to.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn nonzero_root_rotates() {
+        let s = binomial(8, Rank(3), 4);
+        assert!(s.check().is_ok());
+        // Rank 3 is the actual root: it never receives.
+        assert!(!s
+            .program(Rank(3))
+            .iter()
+            .any(|st| matches!(st, Step::Recv { .. })));
+    }
+
+    #[test]
+    fn linear_depth_one() {
+        let s = linear(16, Rank(0), 4);
+        assert!(s.check().is_ok());
+        assert_eq!(s.message_depth(), 1);
+        assert_eq!(s.total_messages(), 15);
+    }
+
+    #[test]
+    fn single_rank_is_empty() {
+        let s = binomial(1, Rank(0), 4);
+        assert!(s.check().is_ok());
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_panics() {
+        binomial(4, Rank(4), 1);
+    }
+
+    #[test]
+    fn scatter_allgather_valid_for_all_sizes() {
+        for p in 1..=33 {
+            for root in [0, p / 2, p - 1] {
+                for bytes in [0u32, 1, 64, 1000, 65_536] {
+                    let s = scatter_allgather(p, Rank(root), bytes);
+                    s.check()
+                        .unwrap_or_else(|e| panic!("p={p} root={root} m={bytes}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_bounds_per_rank_traffic() {
+        // The van de Geijn algorithm's advantage is per-rank bandwidth:
+        // no rank sends more than ~2m, while the binomial root pushes
+        // log2(p) full copies.
+        let p = 16;
+        let bytes = 16_000u32; // divisible: blocks of 1000
+        let per_rank_sent = |s: &Schedule| -> u64 {
+            (0..p)
+                .map(|r| {
+                    s.program(Rank(r))
+                        .iter()
+                        .map(|st| match st {
+                            Step::Send { bytes, .. } => u64::from(*bytes),
+                            _ => 0,
+                        })
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap()
+        };
+        let sag = per_rank_sent(&scatter_allgather(p, Rank(0), bytes));
+        let binom = per_rank_sent(&binomial(p, Rank(0), bytes));
+        assert_eq!(binom, 4 * u64::from(bytes), "root sends log2(16) copies");
+        assert!(
+            sag <= 2 * u64::from(bytes),
+            "no rank exceeds ~2m: sent {sag}"
+        );
+    }
+
+    #[test]
+    fn pipelined_valid_and_streams() {
+        for p in 1..=17 {
+            for (bytes, seg) in [(0u32, 512u32), (100, 512), (10_000, 512), (10_000, 3_000)] {
+                let s = pipelined(p, Rank(0), bytes, seg);
+                s.check().unwrap_or_else(|e| panic!("p={p} m={bytes} seg={seg}: {e}"));
+            }
+        }
+        // Total bytes: every non-terminal rank forwards the full message.
+        let s = pipelined(5, Rank(0), 10_000, 1_000);
+        assert_eq!(s.total_bytes(), 4 * 10_000);
+        assert_eq!(s.total_messages(), 4 * 10);
+    }
+
+    #[test]
+    fn pipelined_depth_is_chain_length() {
+        // Each segment travels its own (p-1)-hop dependency chain; the
+        // message-depth metric reports the longest such chain. (The
+        // pipeline-fill serialization between segments at a rank is a
+        // timing effect the executor models, not a message dependency.)
+        let s = pipelined(8, Rank(0), 8_192, 1_024);
+        assert!(s.check().is_ok());
+        assert_eq!(s.message_depth(), 7);
+    }
+
+    #[test]
+    fn scatter_allgather_tiny_messages_degenerate_cleanly() {
+        // bytes < p: some ranks own zero-length blocks.
+        let s = scatter_allgather(8, Rank(0), 3);
+        assert!(s.check().is_ok());
+        let s = scatter_allgather(8, Rank(0), 0);
+        assert_eq!(s.total_messages(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Extension collectives beyond the paper's seven operations.
+//!
+//! The MPI standard the paper benchmarks also defines `MPI_Allgather`,
+//! `MPI_Allreduce`, and `MPI_Reduce_scatter`; the paper's Table 1 notes
+//! the richer operation set of the public MPI implementations. These are
+//! provided as composable schedules so downstream users can model full
+//! applications. Cost-table classes are borrowed from the closest
+//! measured operation (allgather → gather, allreduce / reduce-scatter →
+//! reduce), which is how the vendor libraries implemented them anyway
+//! (composition of the measured primitives).
+
+use crate::schedule::{Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Ring allgather: `p-1` rounds; in round `r`, rank `i` forwards the
+/// block it received in round `r-1` to `(i+1) mod p`. Every rank ends
+/// with all `p` blocks of `bytes` each.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::extra::allgather_ring;
+///
+/// let s = allgather_ring(8, 512);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.total_messages(), 8 * 7);
+/// ```
+pub fn allgather_ring(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Gather, p);
+    for _round in 1..p {
+        for i in 0..p {
+            let to = Rank((i + 1) % p);
+            let from = Rank((i + p - 1) % p);
+            s.push(Rank(i), Step::Send { to, bytes });
+            s.push(Rank(i), Step::Recv { from, bytes });
+        }
+    }
+    s
+}
+
+/// Recursive-doubling allreduce: `ceil(log2 p)` rounds of pairwise
+/// exchange-and-combine; every rank finishes with the full reduction.
+/// Ranks beyond the largest power of two fold into partners first and
+/// receive the result at the end (the classic MPICH pre/post phase).
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn allreduce_recursive_doubling(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Reduce, p);
+    let pof2 = if p.is_power_of_two() {
+        p
+    } else {
+        (p as u64).next_power_of_two() as usize / 2
+    };
+    let rem = p - pof2;
+    // Pre-phase: ranks [pof2, p) send their vectors into [0, rem).
+    for i in 0..rem {
+        let extra = Rank(pof2 + i);
+        s.push(extra, Step::Send { to: Rank(i), bytes });
+        s.push(Rank(i), Step::Recv { from: extra, bytes });
+        s.push(Rank(i), Step::Compute { bytes });
+    }
+    // Core: recursive doubling among the first pof2 ranks.
+    let mut mask = 1usize;
+    while mask < pof2 {
+        for i in 0..pof2 {
+            let partner = Rank(i ^ mask);
+            s.push(Rank(i), Step::Send { to: partner, bytes });
+            s.push(Rank(i), Step::Recv { from: partner, bytes });
+            s.push(Rank(i), Step::Compute { bytes });
+        }
+        mask <<= 1;
+    }
+    // Post-phase: results flow back out to the folded ranks.
+    for i in 0..rem {
+        let extra = Rank(pof2 + i);
+        s.push(Rank(i), Step::Send { to: extra, bytes });
+        s.push(extra, Step::Recv { from: Rank(i), bytes });
+    }
+    s
+}
+
+/// Pairwise reduce-scatter: each rank ends with the reduction of one
+/// `bytes`-sized block. `p-1` rounds; in round `r`, rank `i` sends the
+/// block destined for `(i+r) mod p` and combines the block received from
+/// `(i-r) mod p`.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn reduce_scatter_pairwise(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Reduce, p);
+    for r in 1..p {
+        for i in 0..p {
+            let to = Rank((i + r) % p);
+            let from = Rank((i + p - r) % p);
+            s.push(Rank(i), Step::Send { to, bytes });
+            s.push(Rank(i), Step::Recv { from, bytes });
+            s.push(Rank(i), Step::Compute { bytes });
+        }
+    }
+    s
+}
+
+
+/// Rabenseifner allreduce: a pairwise reduce-scatter (each rank ends
+/// with one reduced block) followed by a ring allgather of the blocks.
+/// Bandwidth-optimal for long vectors: each rank communicates ~2m bytes
+/// instead of the recursive-doubling `m·log2 p`.
+///
+/// Block sizes are `ceil(bytes / p)` with the last block truncated.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn allreduce_rabenseifner(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Reduce, p);
+    if p == 1 || bytes == 0 {
+        return s;
+    }
+    let block = bytes.div_ceil(p as u32);
+    let owned = |v: usize| -> u32 {
+        let start = (v as u32).saturating_mul(block).min(bytes);
+        let end = ((v as u32 + 1).saturating_mul(block)).min(bytes);
+        end - start
+    };
+    // Phase 1: pairwise reduce-scatter — in round r, rank i sends the
+    // block owned by (i + r) mod p and combines the one it owns.
+    for r in 1..p {
+        for i in 0..p {
+            let to = Rank((i + r) % p);
+            let from = Rank((i + p - r) % p);
+            let send_b = owned((i + r) % p);
+            let recv_b = owned(i);
+            if send_b > 0 {
+                s.push(Rank(i), Step::Send { to, bytes: send_b });
+            }
+            if recv_b > 0 {
+                s.push(Rank(i), Step::Recv { from, bytes: recv_b });
+                s.push(Rank(i), Step::Compute { bytes: recv_b });
+            }
+        }
+    }
+    // Phase 2: ring allgather of the reduced blocks.
+    for r in 1..p {
+        for i in 0..p {
+            let to = Rank((i + 1) % p);
+            let from = Rank((i + p - 1) % p);
+            let send_b = owned((i + p - (r - 1)) % p);
+            let recv_b = owned((i + p - r) % p);
+            if send_b > 0 {
+                s.push(Rank(i), Step::Send { to, bytes: send_b });
+            }
+            if recv_b > 0 {
+                s.push(Rank(i), Step::Recv { from, bytes: recv_b });
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_valid_any_size() {
+        for p in 1..=17 {
+            let s = allgather_ring(p, 64);
+            s.check().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn allgather_volume() {
+        // Every rank forwards p-1 blocks: total p(p-1) messages of m.
+        let s = allgather_ring(8, 100);
+        assert_eq!(s.total_bytes(), 8 * 7 * 100);
+    }
+
+    #[test]
+    fn allreduce_valid_any_size() {
+        for p in 1..=33 {
+            let s = allreduce_recursive_doubling(p, 64);
+            s.check().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn allreduce_pow2_depth() {
+        let s = allreduce_recursive_doubling(16, 64);
+        assert_eq!(s.message_depth(), 4);
+        // Every rank sends log2(p) times.
+        assert_eq!(s.total_messages(), 16 * 4);
+    }
+
+    #[test]
+    fn allreduce_non_pow2_has_fold_phases() {
+        let s = allreduce_recursive_doubling(6, 64);
+        // pof2 = 4, rem = 2: 2 pre + 4*2 core + 2 post messages.
+        assert_eq!(s.total_messages(), 2 + 8 + 2);
+        assert!(s.message_depth() >= 3);
+    }
+
+    #[test]
+    fn rabenseifner_valid_any_size() {
+        for p in 1..=20 {
+            for bytes in [0u32, 3, 100, 4_096, 65_536] {
+                let s = allreduce_rabenseifner(p, bytes);
+                s.check().unwrap_or_else(|e| panic!("p={p} m={bytes}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_per_rank_traffic_is_about_2m() {
+        let p = 8;
+        let bytes = 8_000u32;
+        let s = allreduce_rabenseifner(p, bytes);
+        for r in 0..p {
+            let sent: u64 = s
+                .program(Rank(r))
+                .iter()
+                .map(|st| match st {
+                    Step::Send { bytes, .. } => u64::from(*bytes),
+                    _ => 0,
+                })
+                .sum();
+            assert!(sent <= 2 * u64::from(bytes), "rank {r} sent {sent}");
+        }
+        // Recursive doubling sends m per round: 3m per rank at p=8.
+        let rd = allreduce_recursive_doubling(p, bytes);
+        let rd_sent: u64 = rd
+            .program(Rank(0))
+            .iter()
+            .map(|st| match st {
+                Step::Send { bytes, .. } => u64::from(*bytes),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(rd_sent, 3 * u64::from(bytes));
+    }
+
+    #[test]
+    fn reduce_scatter_valid() {
+        for p in 1..=17 {
+            let s = reduce_scatter_pairwise(p, 64);
+            s.check().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+        let s = reduce_scatter_pairwise(8, 100);
+        assert_eq!(s.total_messages(), 8 * 7);
+    }
+}

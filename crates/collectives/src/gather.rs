@@ -1,0 +1,163 @@
+//! Gather algorithms.
+//!
+//! All-to-one collection. The vendor libraries used the linear form —
+//! every rank sends its block to the root, whose receive loop serializes
+//! — giving the O(p) startup of the paper's Table 3. The binomial
+//! fan-in variant is provided for ablation.
+
+use crate::schedule::{ceil_log2, Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Linear gather: every non-root rank sends its block to the root; the
+/// root receives in increasing rank order.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::gather::linear;
+/// use collectives::schedule::Rank;
+///
+/// let s = linear(8, Rank(0), 256);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.total_messages(), 7);
+/// ```
+pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Gather, p);
+    for i in 0..p {
+        if i == root.0 {
+            continue;
+        }
+        s.push(Rank(i), Step::Send { to: root, bytes });
+        s.push(root, Step::Recv { from: Rank(i), bytes });
+    }
+    s
+}
+
+/// Binomial gather: blocks combine up a binomial tree (the mirror image
+/// of the binomial scatter); each internal rank receives its children's
+/// aggregated blocks before forwarding its own aggregate to its parent.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn binomial(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Gather, p);
+    let l = ceil_log2(p);
+    let abs = |vr: usize| Rank((vr + root.0) % p);
+    let block = |v: usize, mask: usize| -> u32 {
+        let span = (v + mask).min(p) - v;
+        bytes.saturating_mul(span as u32)
+    };
+    for v in 0..p {
+        let me = abs(v);
+        // Children report in ascending mask order (smallest subtree
+        // first — the reverse of the scatter send order).
+        let mut send_mask = None;
+        let mut mask = 1usize;
+        while mask < (1 << l) {
+            if v & mask != 0 {
+                send_mask = Some(mask);
+                break;
+            }
+            if v + mask < p {
+                s.push(
+                    me,
+                    Step::Recv {
+                        from: abs(v + mask),
+                        bytes: block(v + mask, mask),
+                    },
+                );
+            }
+            mask <<= 1;
+        }
+        if let Some(mask) = send_mask {
+            s.push(
+                me,
+                Step::Send {
+                    to: abs(v - mask),
+                    bytes: block(v, mask),
+                },
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_valid() {
+        for p in 1..=20 {
+            for root in [0, p - 1] {
+                let s = linear(p, Rank(root), 64);
+                assert!(s.check().is_ok(), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_valid_for_all_sizes() {
+        for p in 1..=33 {
+            for root in [0, p / 3, p - 1] {
+                let s = binomial(p, Rank(root), 64);
+                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_depth_is_log() {
+        assert_eq!(binomial(16, Rank(0), 4).message_depth(), 4);
+        assert_eq!(binomial(63, Rank(0), 4).message_depth(), 5); // max popcount below 63
+    }
+
+    #[test]
+    fn linear_root_receives_everything() {
+        let s = linear(8, Rank(2), 100);
+        let recvs = s
+            .program(Rank(2))
+            .iter()
+            .filter(|st| matches!(st, Step::Recv { .. }))
+            .count();
+        assert_eq!(recvs, 7);
+        assert_eq!(s.total_bytes(), 700);
+    }
+
+    #[test]
+    fn binomial_root_receives_log_blocks() {
+        let s = binomial(64, Rank(0), 10);
+        let recvs: Vec<u32> = s
+            .program(Rank(0))
+            .iter()
+            .filter_map(|st| match st {
+                Step::Recv { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recvs, vec![10, 20, 40, 80, 160, 320]);
+    }
+
+    #[test]
+    fn gather_is_mirror_of_scatter_volume() {
+        let g = binomial(32, Rank(0), 100);
+        let sc = crate::scatter::binomial(32, Rank(0), 100);
+        assert_eq!(g.total_bytes(), sc.total_bytes());
+        assert_eq!(g.total_messages(), sc.total_messages());
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_panics() {
+        binomial(4, Rank(9), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Application communication patterns built from point-to-point steps.
+//!
+//! The paper motivates its measurements with SPMD application kernels
+//! (STAP signal processing, §1/§9). These builders produce the classic
+//! patterns such applications layer *around* the collectives, so full
+//! application phases can be simulated with the same executor: halo
+//! exchanges for domain decomposition, and master–worker task rounds.
+
+use crate::schedule::{Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Bidirectional ring halo exchange: every rank swaps `bytes` with both
+/// neighbours on a periodic 1-D decomposition.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::patterns::halo_ring;
+///
+/// let s = halo_ring(8, 4_096);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.total_messages(), 16); // two per rank
+/// ```
+pub fn halo_ring(p: usize, bytes: u32) -> Schedule {
+    let mut s = Schedule::new(OpClass::PointToPoint, p);
+    if p < 2 {
+        return s;
+    }
+    for i in 0..p {
+        let next = Rank((i + 1) % p);
+        let prev = Rank((i + p - 1) % p);
+        s.push(Rank(i), Step::Send { to: next, bytes });
+        s.push(Rank(i), Step::Send { to: prev, bytes });
+        s.push(Rank(i), Step::Recv { from: prev, bytes });
+        s.push(Rank(i), Step::Recv { from: next, bytes });
+    }
+    s
+}
+
+/// 2-D stencil halo exchange on a non-periodic `cols × rows` process
+/// grid: every rank swaps `bytes` with each of its (up to four)
+/// neighbours.
+///
+/// # Panics
+///
+/// Panics if either grid dimension is zero.
+pub fn stencil2d(cols: usize, rows: usize, bytes: u32) -> Schedule {
+    assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+    let p = cols * rows;
+    let mut s = Schedule::new(OpClass::PointToPoint, p);
+    let at = |x: usize, y: usize| Rank(x + y * cols);
+    for y in 0..rows {
+        for x in 0..cols {
+            let me = at(x, y);
+            let mut neighbours = Vec::new();
+            if x + 1 < cols {
+                neighbours.push(at(x + 1, y));
+            }
+            if x > 0 {
+                neighbours.push(at(x - 1, y));
+            }
+            if y + 1 < rows {
+                neighbours.push(at(x, y + 1));
+            }
+            if y > 0 {
+                neighbours.push(at(x, y - 1));
+            }
+            // Eager sends first, then blocking receives: deadlock-free.
+            for &n in &neighbours {
+                s.push(me, Step::Send { to: n, bytes });
+            }
+            for &n in &neighbours {
+                s.push(me, Step::Recv { from: n, bytes });
+            }
+        }
+    }
+    s
+}
+
+/// Master–worker rounds: in each of `rounds`, rank 0 sends a
+/// `task_bytes` descriptor to every worker and collects a
+/// `result_bytes` reply, workers computing `compute_bytes` in between.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn master_worker(
+    p: usize,
+    rounds: usize,
+    task_bytes: u32,
+    result_bytes: u32,
+    compute_bytes: u32,
+) -> Schedule {
+    let mut s = Schedule::new(OpClass::PointToPoint, p);
+    if p < 2 {
+        return s;
+    }
+    let master = Rank(0);
+    for _ in 0..rounds {
+        for w in 1..p {
+            s.push(master, Step::Send { to: Rank(w), bytes: task_bytes });
+        }
+        for w in 1..p {
+            let worker = Rank(w);
+            s.push(worker, Step::Recv { from: master, bytes: task_bytes });
+            if compute_bytes > 0 {
+                s.push(worker, Step::Compute { bytes: compute_bytes });
+            }
+            s.push(worker, Step::Send { to: master, bytes: result_bytes });
+            s.push(master, Step::Recv { from: worker, bytes: result_bytes });
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_ring_valid() {
+        for p in 1..=17 {
+            let s = halo_ring(p, 128);
+            s.check().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+        assert_eq!(halo_ring(1, 128).total_messages(), 0);
+        // p = 2: both "neighbours" are the same rank; 2 sends each way.
+        let s = halo_ring(2, 128);
+        assert_eq!(s.total_messages(), 4);
+    }
+
+    #[test]
+    fn stencil_valid_and_counts_edges() {
+        for (c, r) in [(1, 1), (4, 1), (3, 3), (5, 4), (8, 8)] {
+            let s = stencil2d(c, r, 64);
+            s.check().unwrap_or_else(|e| panic!("{c}x{r}: {e}"));
+            // Messages = 2 * (#grid edges) = 2*(r*(c-1) + c*(r-1)).
+            let edges = r * (c - 1) + c * (r - 1);
+            assert_eq!(s.total_messages(), 2 * edges, "{c}x{r}");
+        }
+    }
+
+    #[test]
+    fn interior_rank_has_four_neighbours() {
+        let s = stencil2d(3, 3, 64);
+        let center = Rank(4);
+        let sends = s
+            .program(center)
+            .iter()
+            .filter(|st| matches!(st, Step::Send { .. }))
+            .count();
+        assert_eq!(sends, 4);
+    }
+
+    #[test]
+    fn master_worker_rounds() {
+        let s = master_worker(5, 3, 100, 400, 1_000);
+        assert!(s.check().is_ok());
+        // Per round: 4 tasks + 4 results.
+        assert_eq!(s.total_messages(), 3 * 8);
+        assert_eq!(s.total_bytes(), 3 * 4 * (100 + 400));
+        assert_eq!(master_worker(1, 5, 1, 1, 1).total_messages(), 0);
+    }
+
+    #[test]
+    fn patterns_have_expected_depth() {
+        assert_eq!(halo_ring(8, 64).message_depth(), 1, "fully concurrent");
+        // Master-worker rounds serialize through the master.
+        let s = master_worker(3, 2, 10, 10, 0);
+        assert!(s.message_depth() >= 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Reduction algorithms.
+//!
+//! The CRI/EPCC library reduces over a binary (binomial) tree (§8), and
+//! MPICH's `MPI_Reduce` of the era was likewise a binomial fan-in: each
+//! parent receives a child's partial vector, combines it locally, and
+//! passes the result up — O(log p) startup and per-stage compute over the
+//! full `m` bytes. A linear fan-in baseline is provided for ablation.
+
+use crate::schedule::{ceil_log2, Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Binomial-tree reduce toward `root`: the mirror image of the binomial
+/// broadcast, with a `Compute` over `bytes` after every receive.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::reduce::binomial;
+/// use collectives::schedule::Rank;
+///
+/// let s = binomial(16, Rank(0), 4096);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.message_depth(), 4);
+/// ```
+pub fn binomial(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Reduce, p);
+    let l = ceil_log2(p);
+    let abs = |vr: usize| Rank((vr + root.0) % p);
+    for v in 0..p {
+        let me = abs(v);
+        // Receive partials from children (ascending masks), combining
+        // each, until this rank's own turn to report upward.
+        let mut mask = 1usize;
+        loop {
+            if v & mask != 0 {
+                s.push(me, Step::Send { to: abs(v - mask), bytes });
+                break;
+            }
+            if v + mask < p {
+                s.push(me, Step::Recv { from: abs(v + mask), bytes });
+                s.push(me, Step::Compute { bytes });
+            }
+            mask <<= 1;
+            if mask >= (1 << l) {
+                break; // only the root falls out here
+            }
+        }
+    }
+    s
+}
+
+/// Linear reduce: every rank sends its vector to the root, which combines
+/// them serially. O(p) startup and O(p·m) compute at the root.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Reduce, p);
+    for i in 0..p {
+        if i == root.0 {
+            continue;
+        }
+        s.push(Rank(i), Step::Send { to: root, bytes });
+        s.push(root, Step::Recv { from: Rank(i), bytes });
+        s.push(root, Step::Compute { bytes });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_valid_for_all_sizes() {
+        for p in 1..=33 {
+            for root in [0, p / 2, p - 1] {
+                let s = binomial(p, Rank(root), 64);
+                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                assert_eq!(s.total_messages(), p - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_depth_is_log() {
+        for (p, d) in [(2, 1), (8, 3), (16, 4), (64, 6), (100, 6)] {
+            assert_eq!(binomial(p, Rank(0), 4).message_depth(), d, "p={p}");
+        }
+    }
+
+    #[test]
+    fn every_nonroot_sends_once() {
+        let s = binomial(16, Rank(5), 8);
+        for i in 0..16 {
+            let sends = s
+                .program(Rank(i))
+                .iter()
+                .filter(|st| matches!(st, Step::Send { .. }))
+                .count();
+            assert_eq!(sends, usize::from(i != 5), "rank {i}");
+        }
+    }
+
+    #[test]
+    fn computes_follow_each_receive() {
+        let s = binomial(8, Rank(0), 8);
+        let prog = s.program(Rank(0));
+        let recvs = prog
+            .iter()
+            .filter(|st| matches!(st, Step::Recv { .. }))
+            .count();
+        let computes = prog
+            .iter()
+            .filter(|st| matches!(st, Step::Compute { .. }))
+            .count();
+        assert_eq!(recvs, 3, "root has log2(8) children");
+        assert_eq!(computes, recvs);
+    }
+
+    #[test]
+    fn linear_root_combines_all() {
+        let s = linear(8, Rank(0), 8);
+        assert!(s.check().is_ok());
+        assert_eq!(s.message_depth(), 1);
+        let computes = s
+            .program(Rank(0))
+            .iter()
+            .filter(|st| matches!(st, Step::Compute { .. }))
+            .count();
+        assert_eq!(computes, 7);
+    }
+
+    #[test]
+    fn single_rank_reduces_nothing() {
+        let s = binomial(1, Rank(0), 8);
+        assert!(s.check().is_ok());
+        assert_eq!(s.total_messages(), 0);
+    }
+}

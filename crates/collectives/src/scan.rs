@@ -1,0 +1,137 @@
+//! Parallel-prefix (MPI_Scan) algorithms.
+//!
+//! The paper measures O(log p) scan startup on all three machines —
+//! recursive doubling, MPICH's algorithm of the era. The linear pipeline
+//! chain (each rank combines and forwards to its successor) is kept as a
+//! baseline: it has O(p) depth but the smallest message count.
+
+use crate::schedule::{Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Recursive-doubling inclusive scan: in round `k`, rank `i` sends its
+/// running partial to `i + 2^k` and combines the partial received from
+/// `i - 2^k`. `ceil(log2 p)` rounds, up to `p-1` messages per round.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::scan::recursive_doubling;
+///
+/// let s = recursive_doubling(16, 1024);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.message_depth(), 4);
+/// ```
+pub fn recursive_doubling(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Scan, p);
+    let mut mask = 1usize;
+    while mask < p {
+        for i in 0..p {
+            // Eager send of the current partial, then the blocking
+            // combine from below.
+            if i + mask < p {
+                s.push(Rank(i), Step::Send { to: Rank(i + mask), bytes });
+            }
+            if i >= mask {
+                s.push(Rank(i), Step::Recv { from: Rank(i - mask), bytes });
+                s.push(Rank(i), Step::Compute { bytes });
+            }
+        }
+        mask <<= 1;
+    }
+    s
+}
+
+/// Linear pipeline scan: rank `i` waits for the prefix of `0..i` from its
+/// predecessor, combines its own contribution, and forwards to `i + 1`.
+/// Depth `p-1`, exactly `p-1` messages.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn linear(p: usize, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    let mut s = Schedule::new(OpClass::Scan, p);
+    for i in 0..p.saturating_sub(1) {
+        s.push(Rank(i + 1), Step::Recv { from: Rank(i), bytes });
+        s.push(Rank(i + 1), Step::Compute { bytes });
+        s.push(Rank(i), Step::Send { to: Rank(i + 1), bytes });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursive_doubling_valid() {
+        for p in 1..=33 {
+            let s = recursive_doubling(p, 64);
+            s.check().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_depth_is_log() {
+        for (p, d) in [(2, 1), (4, 2), (8, 3), (64, 6)] {
+            assert_eq!(recursive_doubling(p, 4).message_depth(), d, "p={p}");
+        }
+        // Non-powers of two stay within [floor(log2(p-1)), ceil(log2 p)].
+        for p in [3usize, 5, 9, 33, 100] {
+            let d = recursive_doubling(p, 4).message_depth();
+            let lo = usize::BITS as usize - 1 - (p - 1).leading_zeros() as usize;
+            let hi = crate::schedule::ceil_log2(p) as usize;
+            assert!(d >= lo && d <= hi, "p={p}: depth {d} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_message_count() {
+        // Round k has p - 2^k messages.
+        let p = 16;
+        let s = recursive_doubling(p, 4);
+        let expect: usize = [1usize, 2, 4, 8].iter().map(|m| p - m).sum();
+        assert_eq!(s.total_messages(), expect);
+    }
+
+    #[test]
+    fn linear_chain_shape() {
+        let s = linear(8, 64);
+        assert!(s.check().is_ok());
+        assert_eq!(s.total_messages(), 7);
+        assert_eq!(s.message_depth(), 7);
+    }
+
+    #[test]
+    fn last_rank_combines_in_both_variants() {
+        for s in [recursive_doubling(8, 4), linear(8, 4)] {
+            let computes = s
+                .program(Rank(7))
+                .iter()
+                .filter(|st| matches!(st, Step::Compute { .. }))
+                .count();
+            assert!(computes >= 1, "last rank must combine");
+        }
+    }
+
+    #[test]
+    fn rank_zero_never_receives() {
+        for s in [recursive_doubling(16, 4), linear(16, 4)] {
+            assert!(!s
+                .program(Rank(0))
+                .iter()
+                .any(|st| matches!(st, Step::Recv { .. })));
+        }
+    }
+
+    #[test]
+    fn single_rank_trivial() {
+        assert_eq!(recursive_doubling(1, 4).total_messages(), 0);
+        assert_eq!(linear(1, 4).total_messages(), 0);
+    }
+}

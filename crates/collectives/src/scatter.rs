@@ -1,0 +1,181 @@
+//! Scatter algorithms.
+//!
+//! The paper observes O(p) scatter startup on all three machines (§8),
+//! matching the linear root loop the vendor libraries used: the root
+//! posts one personalized message per destination. A binomial variant
+//! (MPICH's later `MPI_Scatter` tree, which halves the data per level)
+//! is provided for ablation.
+
+use crate::schedule::{ceil_log2, Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// Linear scatter: the root sends each rank its `bytes`-sized block,
+/// in increasing rank order. Depth 1, `p-1` messages.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::scatter::linear;
+/// use collectives::schedule::Rank;
+///
+/// let s = linear(16, Rank(0), 512);
+/// assert!(s.check().is_ok());
+/// assert_eq!(s.total_bytes(), 512 * 15);
+/// ```
+pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Scatter, p);
+    for i in 0..p {
+        if i == root.0 {
+            continue;
+        }
+        s.push(root, Step::Send { to: Rank(i), bytes });
+        s.push(Rank(i), Step::Recv { from: root, bytes });
+    }
+    s
+}
+
+/// Binomial scatter: the root splits the buffer in halves down a binomial
+/// tree; each internal rank receives its whole subtree's data and
+/// forwards the halves. Depth `ceil(log2 p)`, but moves `O(m·p·log p / 2)`
+/// total bytes — a latency/bandwidth trade-off.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn binomial(p: usize, root: Rank, bytes: u32) -> Schedule {
+    assert!(p > 0, "empty communicator");
+    assert!(root.0 < p, "root out of range");
+    let mut s = Schedule::new(OpClass::Scatter, p);
+    let l = ceil_log2(p);
+    let abs = |vr: usize| Rank((vr + root.0) % p);
+    // Subtree size of virtual rank v when its receive mask is `mask`:
+    // the block covers ranks [v, min(v+mask, p)).
+    let block = |v: usize, mask: usize| -> u32 {
+        let span = (v + mask).min(p) - v;
+        bytes.saturating_mul(span as u32)
+    };
+    for v in 0..p {
+        let me = abs(v);
+        let mut recv_mask = 0usize;
+        let mut mask = 1usize;
+        while mask < (1 << l) {
+            if v & mask != 0 {
+                s.push(
+                    me,
+                    Step::Recv {
+                        from: abs(v - mask),
+                        bytes: block(v, mask),
+                    },
+                );
+                recv_mask = mask;
+                break;
+            }
+            mask <<= 1;
+        }
+        let mut mask = if v == 0 { 1usize << l } else { recv_mask };
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < p {
+                s.push(
+                    me,
+                    Step::Send {
+                        to: abs(v + mask),
+                        bytes: block(v + mask, mask),
+                    },
+                );
+            }
+            mask >>= 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_valid_and_flat() {
+        for p in 1..=20 {
+            let s = linear(p, Rank(0), 128);
+            assert!(s.check().is_ok(), "p={p}");
+            assert_eq!(s.total_messages(), p - 1);
+            if p > 1 {
+                assert_eq!(s.message_depth(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_valid_for_all_sizes() {
+        for p in 1..=33 {
+            for root in [0, p - 1] {
+                let s = binomial(p, Rank(root), 64);
+                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_depth_is_log() {
+        assert_eq!(binomial(16, Rank(0), 4).message_depth(), 4);
+        assert_eq!(binomial(64, Rank(0), 4).message_depth(), 6);
+    }
+
+    #[test]
+    fn binomial_moves_more_bytes_than_linear() {
+        let lin = linear(32, Rank(0), 100);
+        let bin = binomial(32, Rank(0), 100);
+        assert_eq!(lin.total_bytes(), 3100);
+        assert!(bin.total_bytes() > lin.total_bytes());
+        // Root sends halves: 16*100 + 8*100 + ... + 1*100 = 3100 at root,
+        // plus internal forwarding.
+        assert_eq!(bin.total_bytes(), 100 * (16 + 8 + 4 + 2 + 1) as u64 + 100 * 49);
+    }
+
+    #[test]
+    fn binomial_block_sizes_cover_every_rank_once() {
+        // Each non-root rank receives exactly its subtree block; leaves
+        // receive exactly `bytes`.
+        let s = binomial(8, Rank(0), 10);
+        for leaf in [1usize, 3, 5, 7] {
+            let recvs: Vec<u32> = s
+                .program(Rank(leaf))
+                .iter()
+                .filter_map(|st| match st {
+                    Step::Recv { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(recvs, vec![10], "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn nonpow2_blocks_truncate() {
+        let s = binomial(6, Rank(0), 10);
+        assert!(s.check().is_ok());
+        // Rank 4's subtree is {4, 5}: it receives 20 bytes.
+        let recvs: Vec<u32> = s
+            .program(Rank(4))
+            .iter()
+            .filter_map(|st| match st {
+                Step::Recv { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recvs, vec![20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty communicator")]
+    fn zero_ranks_panics() {
+        linear(0, Rank(0), 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! Communication schedules.
+//!
+//! A collective algorithm compiles to a [`Schedule`]: one step program per
+//! rank, each a totally ordered list of [`Step`]s. The executor in
+//! `mpisim` advances every rank's program on the discrete-event engine;
+//! sends are eager (buffered), receives block, and messages between a
+//! given (sender, receiver) pair match in FIFO order — the semantics of
+//! the MPI collectives being modeled, which never rely on tag reordering
+//! within an operation.
+
+use netmodel::OpClass;
+use std::collections::{HashMap, VecDeque};
+
+/// A process rank within the collective (identical to the node index —
+/// the paper runs exactly one process per node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub usize);
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Send `bytes` to `to` (eager: the program continues once the local
+    /// send path completes).
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Block until `bytes` arrive from `from` (FIFO per sender pair).
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Expected payload size in bytes.
+        bytes: u32,
+    },
+    /// Local reduction arithmetic over `bytes` of operand data.
+    Compute {
+        /// Operand volume in bytes.
+        bytes: u32,
+    },
+    /// Enter the hardware barrier network and block until release.
+    HwBarrier,
+}
+
+/// A complete collective schedule: one program per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    class: OpClass,
+    programs: Vec<Vec<Step>>,
+}
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A step names a rank outside `0..p`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: Rank,
+        /// The program the step belongs to.
+        in_program: Rank,
+    },
+    /// Execution stalled: the listed ranks wait on messages never sent
+    /// (or sent in a different order than expected).
+    Stuck {
+        /// Ranks blocked at a `Recv` when no progress is possible.
+        waiting: Vec<Rank>,
+    },
+    /// A message arrived whose size differs from the matching `Recv`.
+    SizeMismatch {
+        /// Sender of the mismatched message.
+        from: Rank,
+        /// Receiver expecting a different size.
+        to: Rank,
+        /// Bytes sent.
+        sent: u32,
+        /// Bytes expected.
+        expected: u32,
+    },
+    /// Some sent messages were never received.
+    UnconsumedMessages {
+        /// Total messages left in flight.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::RankOutOfRange { rank, in_program } => {
+                write!(f, "step in {in_program} names out-of-range {rank}")
+            }
+            ScheduleError::Stuck { waiting } => {
+                write!(f, "schedule deadlocks; waiting ranks: {waiting:?}")
+            }
+            ScheduleError::SizeMismatch {
+                from,
+                to,
+                sent,
+                expected,
+            } => write!(
+                f,
+                "{from} sent {sent} bytes but {to} expected {expected}"
+            ),
+            ScheduleError::UnconsumedMessages { count } => {
+                write!(f, "{count} sent messages were never received")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Creates a schedule for `p` ranks of the given class, with empty
+    /// programs.
+    pub fn new(class: OpClass, p: usize) -> Self {
+        Schedule {
+            class,
+            programs: vec![Vec::new(); p],
+        }
+    }
+
+    /// The operation class this schedule implements.
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Number of participating ranks.
+    pub fn ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Appends a step to `rank`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn push(&mut self, rank: Rank, step: Step) {
+        self.programs[rank.0].push(step);
+    }
+
+    /// The program of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn program(&self, rank: Rank) -> &[Step] {
+        &self.programs[rank.0]
+    }
+
+    /// Iterates over `(rank, program)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &[Step])> {
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Rank(i), p.as_slice()))
+    }
+
+    /// Total number of `Send` steps.
+    pub fn total_messages(&self) -> usize {
+        self.programs
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Step::Send { .. }))
+            .count()
+    }
+
+    /// Total payload bytes across all `Send` steps.
+    pub fn total_bytes(&self) -> u64 {
+        self.programs
+            .iter()
+            .flatten()
+            .map(|s| match s {
+                Step::Send { bytes, .. } => u64::from(*bytes),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The message-dependency depth: the longest chain of messages where
+    /// each send happens after the previous receive. A binomial broadcast
+    /// over `p` ranks has depth `ceil(log2 p)`; a linear scatter has
+    /// depth 1 (all messages leave the root directly).
+    ///
+    /// Computed by abstract execution with zero-cost local steps and
+    /// unit-cost messages.
+    pub fn message_depth(&self) -> usize {
+        self.abstract_run().map(|(depth, _)| depth).unwrap_or(0)
+    }
+
+    /// Validates the schedule by abstract execution: checks rank ranges,
+    /// FIFO matching, size agreement, deadlock freedom, and that no sent
+    /// message goes unreceived.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleError`] encountered.
+    pub fn check(&self) -> Result<(), ScheduleError> {
+        let p = self.ranks();
+        for (r, prog) in self.iter() {
+            for step in prog {
+                let named = match step {
+                    Step::Send { to, .. } => Some(*to),
+                    Step::Recv { from, .. } => Some(*from),
+                    _ => None,
+                };
+                if let Some(n) = named {
+                    if n.0 >= p {
+                        return Err(ScheduleError::RankOutOfRange {
+                            rank: n,
+                            in_program: r,
+                        });
+                    }
+                }
+            }
+        }
+        self.abstract_run().map(|_| ())
+    }
+
+    /// Data-influence closure: `influence()[r]` is the set of ranks whose
+    /// initial data can have reached rank `r` through the schedule's
+    /// messages (every rank trivially influences itself).
+    ///
+    /// This is the *semantic* counterpart to [`Schedule::check`]: a
+    /// broadcast is only correct if the root influences everyone, a
+    /// gather/reduce only if everyone influences the root, a total
+    /// exchange only if the influence relation is complete, an inclusive
+    /// scan only if ranks `0..=r` influence rank `r`. The algorithm tests
+    /// assert these properties for every generator.
+    ///
+    /// Computed by abstract eager execution: a message carries the
+    /// sender's influence set *at posting time*; a receive unions it in.
+    /// Returns `None` if the schedule deadlocks (run [`Schedule::check`]
+    /// first for a diagnosis).
+    pub fn influence(&self) -> Option<Vec<Vec<bool>>> {
+        let p = self.ranks();
+        let mut pc = vec![0usize; p];
+        let mut sets: Vec<Vec<bool>> = (0..p)
+            .map(|r| (0..p).map(|i| i == r).collect())
+            .collect();
+        let mut inflight: HashMap<(usize, usize), VecDeque<Vec<bool>>> = HashMap::new();
+        loop {
+            let mut progressed = false;
+            for r in 0..p {
+                while pc[r] < self.programs[r].len() {
+                    match self.programs[r][pc[r]] {
+                        Step::Send { to, .. } => {
+                            let snapshot = sets[r].clone();
+                            inflight.entry((r, to.0)).or_default().push_back(snapshot);
+                        }
+                        Step::Recv { from, .. } => {
+                            match inflight.entry((from.0, r)).or_default().pop_front() {
+                                Some(carried) => {
+                                    for (dst, src) in sets[r].iter_mut().zip(&carried) {
+                                        *dst |= *src;
+                                    }
+                                }
+                                None => break,
+                            }
+                        }
+                        Step::Compute { .. } | Step::HwBarrier => {}
+                    }
+                    pc[r] += 1;
+                    progressed = true;
+                }
+            }
+            if pc.iter().enumerate().all(|(r, &c)| c == self.programs[r].len()) {
+                return Some(sets);
+            }
+            if !progressed {
+                return None;
+            }
+        }
+    }
+
+    /// Abstract eager execution. Returns `(message_depth, steps_run)`.
+    fn abstract_run(&self) -> Result<(usize, usize), ScheduleError> {
+        let p = self.ranks();
+        let mut pc = vec![0usize; p];
+        // In-flight messages per (from, to): FIFO of (bytes, depth).
+        let mut inflight: HashMap<(usize, usize), VecDeque<(u32, usize)>> = HashMap::new();
+        // Depth watermark per rank: the longest message chain feeding its
+        // current state.
+        let mut rank_depth = vec![0usize; p];
+        let mut steps_run = 0usize;
+        let mut max_depth = 0usize;
+        loop {
+            let mut progressed = false;
+            for r in 0..p {
+                while pc[r] < self.programs[r].len() {
+                    match self.programs[r][pc[r]] {
+                        Step::Send { to, bytes } => {
+                            let d = rank_depth[r] + 1;
+                            inflight
+                                .entry((r, to.0))
+                                .or_default()
+                                .push_back((bytes, d));
+                            max_depth = max_depth.max(d);
+                        }
+                        Step::Recv { from, bytes } => {
+                            let q = inflight.entry((from.0, r)).or_default();
+                            match q.front().copied() {
+                                Some((sent, d)) => {
+                                    if sent != bytes {
+                                        return Err(ScheduleError::SizeMismatch {
+                                            from,
+                                            to: Rank(r),
+                                            sent,
+                                            expected: bytes,
+                                        });
+                                    }
+                                    q.pop_front();
+                                    rank_depth[r] = rank_depth[r].max(d);
+                                }
+                                None => break, // blocked
+                            }
+                        }
+                        Step::Compute { .. } | Step::HwBarrier => {}
+                    }
+                    pc[r] += 1;
+                    steps_run += 1;
+                    progressed = true;
+                }
+            }
+            if pc.iter().enumerate().all(|(r, &c)| c == self.programs[r].len()) {
+                let leftovers: usize = inflight.values().map(VecDeque::len).sum();
+                if leftovers > 0 {
+                    return Err(ScheduleError::UnconsumedMessages { count: leftovers });
+                }
+                return Ok((max_depth, steps_run));
+            }
+            if !progressed {
+                let waiting = (0..p)
+                    .filter(|&r| pc[r] < self.programs[r].len())
+                    .map(Rank)
+                    .collect();
+                return Err(ScheduleError::Stuck { waiting });
+            }
+        }
+    }
+}
+
+/// Smallest exponent `l` with `2^l >= p`.
+pub fn ceil_log2(p: usize) -> u32 {
+    assert!(p > 0, "ceil_log2 of zero");
+    (p as u64).next_power_of_two().trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(to: usize, bytes: u32) -> Step {
+        Step::Send {
+            to: Rank(to),
+            bytes,
+        }
+    }
+    fn recv(from: usize, bytes: u32) -> Step {
+        Step::Recv {
+            from: Rank(from),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn simple_pingpong_checks() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), send(0, 8));
+        s.push(Rank(0), recv(1, 8));
+        assert!(s.check().is_ok());
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 16);
+        assert_eq!(s.message_depth(), 2, "reply depends on request");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), recv(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        match s.check() {
+            Err(ScheduleError::Stuck { waiting }) => {
+                assert_eq!(waiting, vec![Rank(0), Rank(1)]);
+            }
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(1), recv(0, 16));
+        assert!(matches!(
+            s.check(),
+            Err(ScheduleError::SizeMismatch {
+                sent: 8,
+                expected: 16,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unconsumed_message_detected() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        assert_eq!(
+            s.check(),
+            Err(ScheduleError::UnconsumedMessages { count: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(5, 8));
+        assert!(matches!(
+            s.check(),
+            Err(ScheduleError::RankOutOfRange { rank: Rank(5), .. })
+        ));
+    }
+
+    #[test]
+    fn fifo_matching_is_order_sensitive() {
+        // Two messages 0->1 with different sizes must be received in
+        // sending order.
+        let mut ok = Schedule::new(OpClass::PointToPoint, 2);
+        ok.push(Rank(0), send(1, 8));
+        ok.push(Rank(0), send(1, 16));
+        ok.push(Rank(1), recv(0, 8));
+        ok.push(Rank(1), recv(0, 16));
+        assert!(ok.check().is_ok());
+
+        let mut bad = Schedule::new(OpClass::PointToPoint, 2);
+        bad.push(Rank(0), send(1, 8));
+        bad.push(Rank(0), send(1, 16));
+        bad.push(Rank(1), recv(0, 16));
+        bad.push(Rank(1), recv(0, 8));
+        assert!(matches!(
+            bad.check(),
+            Err(ScheduleError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fan_out_has_depth_one() {
+        let mut s = Schedule::new(OpClass::Scatter, 4);
+        for i in 1..4 {
+            s.push(Rank(0), send(i, 32));
+            s.push(Rank(i), recv(0, 32));
+        }
+        assert!(s.check().is_ok());
+        assert_eq!(s.message_depth(), 1);
+    }
+
+    #[test]
+    fn chain_depth_counts_hops() {
+        let mut s = Schedule::new(OpClass::Scan, 4);
+        for i in 0..3usize {
+            s.push(Rank(i), send(i + 1, 4));
+            s.push(Rank(i + 1), recv(i, 4));
+        }
+        assert!(s.check().is_ok());
+        assert_eq!(s.message_depth(), 3);
+    }
+
+    #[test]
+    fn influence_tracks_data_flow() {
+        // 0 -> 1 -> 2 chain: 2 is influenced by everyone upstream.
+        let mut s = Schedule::new(OpClass::Scan, 3);
+        s.push(Rank(0), send(1, 4));
+        s.push(Rank(1), recv(0, 4));
+        s.push(Rank(1), send(2, 4));
+        s.push(Rank(2), recv(1, 4));
+        let inf = s.influence().unwrap();
+        assert_eq!(inf[0], vec![true, false, false]);
+        assert_eq!(inf[1], vec![true, true, false]);
+        assert_eq!(inf[2], vec![true, true, true]);
+    }
+
+    #[test]
+    fn influence_respects_posting_time() {
+        // Rank 0 sends to 2 *before* hearing from 1: the message cannot
+        // carry 1's data even though 0 later learns it.
+        let mut s = Schedule::new(OpClass::PointToPoint, 3);
+        s.push(Rank(0), send(2, 4));
+        s.push(Rank(0), recv(1, 4));
+        s.push(Rank(1), send(0, 4));
+        s.push(Rank(2), recv(0, 4));
+        let inf = s.influence().unwrap();
+        assert_eq!(inf[2], vec![true, false, true], "no transitive leak");
+        assert_eq!(inf[0], vec![true, true, false]);
+    }
+
+    #[test]
+    fn influence_detects_deadlock_as_none() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), recv(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        assert!(s.influence().is_none());
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of zero")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = ScheduleError::Stuck {
+            waiting: vec![Rank(1)],
+        };
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Vendor algorithm selection.
+//!
+//! §7 of the paper attributes per-machine anomalies to "different
+//! collective algorithms used" by each vendor library. This module
+//! encodes which schedule each machine's library builds for each
+//! operation, plus a generic-MPICH table used by the `ablate_vendor`
+//! benchmark (forcing identical algorithms on all machines isolates the
+//! contribution of algorithm choice from raw machine parameters).
+
+use crate::schedule::{Rank, Schedule};
+use crate::{alltoall, barrier, bcast, gather, reduce, scan, scatter};
+use netmodel::{MachineId, OpClass};
+
+/// A concrete collective algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Binomial tree (bcast, scatter, gather, reduce).
+    Binomial,
+    /// Flat root loop (bcast, scatter, gather, reduce) or pipeline chain
+    /// (scan).
+    Linear,
+    /// Pairwise XOR exchange (alltoall; power-of-two sizes, otherwise
+    /// falls back to [`Algorithm::Ring`]).
+    Pairwise,
+    /// Shifted-ring rounds (alltoall).
+    Ring,
+    /// Bruck log-round alltoall.
+    Bruck,
+    /// Recursive doubling (scan).
+    RecursiveDoubling,
+    /// Dissemination rounds (barrier).
+    Dissemination,
+    /// Fan-in/fan-out tree (barrier).
+    Tree,
+    /// Dedicated barrier hardware (barrier; T3D only).
+    Hardware,
+    /// Van de Geijn scatter–allgather (broadcast, long messages).
+    ScatterAllgather,
+    /// Segmented pipeline chain (broadcast, very long messages). Uses a
+    /// 4 KB segment.
+    Pipelined,
+}
+
+/// Error returned when an algorithm cannot implement an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedAlgorithm {
+    /// The operation requested.
+    pub class: OpClass,
+    /// The algorithm that cannot implement it.
+    pub algorithm: Algorithm,
+}
+
+impl std::fmt::Display for UnsupportedAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} cannot implement {}", self.algorithm, self.class)
+    }
+}
+
+impl std::error::Error for UnsupportedAlgorithm {}
+
+/// Builds the schedule for `class` using `algorithm`.
+///
+/// `root` is ignored by the rootless operations (barrier, scan,
+/// alltoall). [`Algorithm::Pairwise`] silently falls back to the ring
+/// schedule for non-power-of-two `p`, as MPICH did.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedAlgorithm`] for nonsensical pairings (e.g. a
+/// hardware-barrier broadcast).
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `root >= p`.
+pub fn build(
+    algorithm: Algorithm,
+    class: OpClass,
+    p: usize,
+    root: Rank,
+    bytes: u32,
+) -> Result<Schedule, UnsupportedAlgorithm> {
+    let unsupported = Err(UnsupportedAlgorithm { class, algorithm });
+    match class {
+        OpClass::Bcast => match algorithm {
+            Algorithm::Binomial => Ok(bcast::binomial(p, root, bytes)),
+            Algorithm::Linear => Ok(bcast::linear(p, root, bytes)),
+            Algorithm::ScatterAllgather => Ok(bcast::scatter_allgather(p, root, bytes)),
+            Algorithm::Pipelined => Ok(bcast::pipelined(p, root, bytes, 4_096)),
+            _ => unsupported,
+        },
+        OpClass::Scatter => match algorithm {
+            Algorithm::Binomial => Ok(scatter::binomial(p, root, bytes)),
+            Algorithm::Linear => Ok(scatter::linear(p, root, bytes)),
+            _ => unsupported,
+        },
+        OpClass::Gather => match algorithm {
+            Algorithm::Binomial => Ok(gather::binomial(p, root, bytes)),
+            Algorithm::Linear => Ok(gather::linear(p, root, bytes)),
+            _ => unsupported,
+        },
+        OpClass::Reduce => match algorithm {
+            Algorithm::Binomial => Ok(reduce::binomial(p, root, bytes)),
+            Algorithm::Linear => Ok(reduce::linear(p, root, bytes)),
+            _ => unsupported,
+        },
+        OpClass::Scan => match algorithm {
+            Algorithm::RecursiveDoubling => Ok(scan::recursive_doubling(p, bytes)),
+            Algorithm::Linear => Ok(scan::linear(p, bytes)),
+            _ => unsupported,
+        },
+        OpClass::Alltoall => match algorithm {
+            Algorithm::Pairwise => {
+                if p.is_power_of_two() {
+                    Ok(alltoall::pairwise(p, bytes))
+                } else {
+                    Ok(alltoall::ring(p, bytes))
+                }
+            }
+            Algorithm::Ring => Ok(alltoall::ring(p, bytes)),
+            Algorithm::Bruck => Ok(alltoall::bruck(p, bytes)),
+            _ => unsupported,
+        },
+        OpClass::Barrier => match algorithm {
+            Algorithm::Dissemination => Ok(barrier::dissemination(p)),
+            Algorithm::Tree => Ok(barrier::tree(p)),
+            Algorithm::Hardware => Ok(barrier::hardware(p)),
+            Algorithm::Pairwise => Ok(barrier::pairwise(p)),
+            _ => unsupported,
+        },
+        OpClass::PointToPoint => unsupported,
+    }
+}
+
+/// The algorithm each machine's vendor library uses for `class`.
+///
+/// All three machines ran MPICH-derived collectives with the same
+/// high-level shapes (binomial trees, linear root loops, pairwise
+/// exchange, recursive doubling, dissemination barrier); the T3D's
+/// CRI/EPCC MPI additionally routes barriers to the hardware AND tree.
+/// Per-machine *cost* differences live in the
+/// [`netmodel`] cost tables, not here.
+pub fn vendor_algorithm(machine: MachineId, class: OpClass) -> Algorithm {
+    match class {
+        OpClass::Bcast | OpClass::Reduce => Algorithm::Binomial,
+        OpClass::Scatter | OpClass::Gather => Algorithm::Linear,
+        OpClass::Scan => Algorithm::RecursiveDoubling,
+        OpClass::Alltoall => Algorithm::Pairwise,
+        OpClass::Barrier => {
+            if machine == MachineId::T3d {
+                Algorithm::Hardware
+            } else {
+                Algorithm::Dissemination
+            }
+        }
+        OpClass::PointToPoint => Algorithm::Linear,
+    }
+}
+
+/// The generic MPICH table: identical software algorithms on every
+/// machine (no hardware barrier). Used by the vendor-selection ablation.
+pub fn generic_algorithm(class: OpClass) -> Algorithm {
+    match class {
+        OpClass::Bcast | OpClass::Reduce => Algorithm::Binomial,
+        OpClass::Scatter | OpClass::Gather => Algorithm::Linear,
+        OpClass::Scan => Algorithm::RecursiveDoubling,
+        OpClass::Alltoall => Algorithm::Pairwise,
+        OpClass::Barrier => Algorithm::Dissemination,
+        OpClass::PointToPoint => Algorithm::Linear,
+    }
+}
+
+/// Builds the vendor schedule for `machine`/`class` directly.
+///
+/// # Errors
+///
+/// Propagates [`UnsupportedAlgorithm`] (cannot occur for the seven
+/// measured collectives).
+pub fn vendor_schedule(
+    machine: MachineId,
+    class: OpClass,
+    p: usize,
+    root: Rank,
+    bytes: u32,
+) -> Result<Schedule, UnsupportedAlgorithm> {
+    build(vendor_algorithm(machine, class), class, p, root, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_schedules_build_and_check() {
+        for machine in MachineId::ALL {
+            for class in OpClass::COLLECTIVES {
+                for p in [1, 2, 3, 8, 17, 64] {
+                    let s = vendor_schedule(machine, class, p, Rank(0), 64)
+                        .unwrap_or_else(|e| panic!("{machine}/{class}/p={p}: {e}"));
+                    s.check()
+                        .unwrap_or_else(|e| panic!("{machine}/{class}/p={p}: {e}"));
+                    assert_eq!(s.class(), class);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t3d_uses_hardware_barrier() {
+        assert_eq!(
+            vendor_algorithm(MachineId::T3d, OpClass::Barrier),
+            Algorithm::Hardware
+        );
+        assert_eq!(
+            vendor_algorithm(MachineId::Sp2, OpClass::Barrier),
+            Algorithm::Dissemination
+        );
+        // Generic table never picks hardware.
+        assert_eq!(generic_algorithm(OpClass::Barrier), Algorithm::Dissemination);
+    }
+
+    #[test]
+    fn pairwise_falls_back_to_ring() {
+        let s = build(Algorithm::Pairwise, OpClass::Alltoall, 6, Rank(0), 8).unwrap();
+        assert!(s.check().is_ok());
+        assert_eq!(s.total_messages(), 30);
+    }
+
+    #[test]
+    fn extended_algorithms_build() {
+        let s = build(Algorithm::ScatterAllgather, OpClass::Bcast, 12, Rank(0), 9_999).unwrap();
+        assert!(s.check().is_ok());
+        let s = build(Algorithm::Pipelined, OpClass::Bcast, 12, Rank(0), 9_999).unwrap();
+        assert!(s.check().is_ok());
+        let s = build(Algorithm::Pairwise, OpClass::Barrier, 16, Rank(0), 0).unwrap();
+        assert!(s.check().is_ok());
+        assert!(build(Algorithm::ScatterAllgather, OpClass::Gather, 4, Rank(0), 8).is_err());
+    }
+
+    #[test]
+    fn nonsense_pairings_rejected() {
+        let e = build(Algorithm::Hardware, OpClass::Bcast, 4, Rank(0), 8).unwrap_err();
+        assert_eq!(e.class, OpClass::Bcast);
+        assert!(e.to_string().contains("Hardware"));
+        assert!(build(Algorithm::Bruck, OpClass::Barrier, 4, Rank(0), 0).is_err());
+    }
+
+    #[test]
+    fn startup_shape_matches_table3() {
+        // O(log p) classes use tree/doubling algorithms; O(p) classes use
+        // linear/pairwise — consistent with OpClass::startup_is_logarithmic.
+        for class in OpClass::COLLECTIVES {
+            let alg = generic_algorithm(class);
+            let logish = matches!(
+                alg,
+                Algorithm::Binomial
+                    | Algorithm::RecursiveDoubling
+                    | Algorithm::Dissemination
+                    | Algorithm::Tree
+                    | Algorithm::Hardware
+            );
+            assert_eq!(
+                logish,
+                class.startup_is_logarithmic(),
+                "{class} / {alg:?}"
+            );
+        }
+    }
+}

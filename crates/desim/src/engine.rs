@@ -1,0 +1,405 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns a time-ordered event queue and a monotonically advancing
+//! clock. Events are boxed closures over a user-supplied *world* type `W`
+//! (the mutable simulation state); firing an event may schedule further
+//! events. Ties in firing time break by insertion order, which makes every
+//! run deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::calqueue::CalendarQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// An event callback: receives the scheduling handle and the world.
+pub type EventFn<W> = Box<dyn FnOnce(&mut Scheduler<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The part of the engine visible to a firing event: the clock and the
+/// ability to schedule more events.
+///
+/// Split from [`Engine`] so event closures can schedule without aliasing
+/// the queue being drained.
+pub struct Scheduler<W> {
+    now: SimTime,
+    next_seq: u64,
+    pending: Vec<Scheduled<W>>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: EventFn<W>) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — simulated time never rewinds.
+    pub fn schedule_at(&mut self, at: SimTime, event: EventFn<W>) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Scheduled { at, seq, run: event });
+    }
+}
+
+/// The pending-event set: a binary heap by default, or a calendar queue
+/// for heavily loaded simulations (identical ordering semantics).
+enum Queue<W> {
+    Heap(BinaryHeap<Scheduled<W>>),
+    Calendar(CalendarQueue<EventFn<W>>),
+}
+
+impl<W> Queue<W> {
+    fn push(&mut self, ev: Scheduled<W>) {
+        match self {
+            Queue::Heap(h) => h.push(ev),
+            Queue::Calendar(c) => c.push((ev.at.as_nanos(), ev.seq), ev.run),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<W>> {
+        match self {
+            Queue::Heap(h) => h.pop(),
+            Queue::Calendar(c) => c.pop().map(|((t, seq), run)| Scheduled {
+                at: SimTime::from_nanos(t),
+                seq,
+                run,
+            }),
+        }
+    }
+
+    fn peek_at(&self) -> Option<SimTime> {
+        match self {
+            Queue::Heap(h) => h.peek().map(|ev| ev.at),
+            Queue::Calendar(c) => c.peek_key().map(|(t, _)| SimTime::from_nanos(t)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Queue::Heap(h) => h.is_empty(),
+            Queue::Calendar(c) => c.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Heap(h) => h.len(),
+            Queue::Calendar(c) => c.len(),
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation engine over world state `W`.
+///
+/// # Examples
+///
+/// ```
+/// use desim::engine::Engine;
+/// use desim::time::SimDuration;
+///
+/// let mut engine = Engine::new();
+/// let mut hits: Vec<u64> = Vec::new();
+/// engine.schedule_in(SimDuration::from_nanos(5), Box::new(|s, world: &mut Vec<u64>| {
+///     world.push(s.now().as_nanos());
+///     s.schedule_in(SimDuration::from_nanos(10), Box::new(|s, world: &mut Vec<u64>| {
+///         world.push(s.now().as_nanos());
+///     }));
+/// }));
+/// engine.run(&mut hits);
+/// assert_eq!(hits, vec![5, 15]);
+/// ```
+pub struct Engine<W> {
+    queue: Queue<W>,
+    scheduler: Scheduler<W>,
+    fired: u64,
+    event_limit: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Default cap on fired events; a backstop against runaway simulations.
+    pub const DEFAULT_EVENT_LIMIT: u64 = 2_000_000_000;
+
+    /// Creates an empty engine with the clock at time zero (binary-heap
+    /// pending set).
+    pub fn new() -> Self {
+        Self::with_queue(Queue::Heap(BinaryHeap::new()))
+    }
+
+    /// Creates an engine backed by a calendar queue — O(1) amortized
+    /// enqueue/dequeue for dense event populations, with identical
+    /// deterministic ordering to the default heap.
+    pub fn with_calendar_queue() -> Self {
+        Self::with_queue(Queue::Calendar(CalendarQueue::new()))
+    }
+
+    fn with_queue(queue: Queue<W>) -> Self {
+        Engine {
+            queue,
+            scheduler: Scheduler {
+                now: SimTime::ZERO,
+                next_seq: 0,
+                pending: Vec::new(),
+            },
+            fired: 0,
+            event_limit: Self::DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Replaces the runaway-event backstop (default
+    /// [`Engine::DEFAULT_EVENT_LIMIT`]).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.scheduler.pending.is_empty()
+    }
+
+    /// Schedules an event after `delay` from the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: EventFn<W>) {
+        self.scheduler.schedule_in(delay, event);
+        self.drain_pending();
+    }
+
+    /// Schedules an event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: EventFn<W>) {
+        self.scheduler.schedule_at(at, event);
+        self.drain_pending();
+    }
+
+    fn drain_pending(&mut self) {
+        for ev in self.scheduler.pending.drain(..) {
+            self.queue.push(ev);
+        }
+    }
+
+    /// Fires the single earliest event, advancing the clock to its
+    /// timestamp. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event-count backstop is exceeded.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        assert!(
+            self.fired < self.event_limit,
+            "event limit {} exceeded — runaway simulation?",
+            self.event_limit
+        );
+        self.fired += 1;
+        self.scheduler.now = ev.at;
+        (ev.run)(&mut self.scheduler, world);
+        self.drain_pending();
+        true
+    }
+
+    /// Runs until no events remain. Returns the final clock value.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.now()
+    }
+
+    /// Runs until the clock would pass `deadline` or the queue empties.
+    /// Events at exactly `deadline` do fire.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        if self.scheduler.now < deadline && self.queue.is_empty() {
+            // Idle until the deadline.
+            self.scheduler.now = deadline;
+        }
+        self.now()
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.scheduler.now)
+            .field("queued", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type World = Vec<(u64, &'static str)>;
+
+    fn record(label: &'static str) -> EventFn<World> {
+        Box::new(move |s, w: &mut World| w.push((s.now().as_nanos(), label)))
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(30), record("c"));
+        e.schedule_at(SimTime::from_nanos(10), record("a"));
+        e.schedule_at(SimTime::from_nanos(20), record("b"));
+        e.run(&mut w);
+        assert_eq!(w, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        for label in ["first", "second", "third"] {
+            e.schedule_at(SimTime::from_nanos(5), record(label));
+        }
+        e.run(&mut w);
+        assert_eq!(
+            w.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_in(
+            SimDuration::from_nanos(1),
+            Box::new(|s, _w: &mut World| {
+                s.schedule_in(SimDuration::from_nanos(2), record("child"));
+            }),
+        );
+        e.run(&mut w);
+        assert_eq!(w, vec![(3, "child")]);
+        assert_eq!(e.events_fired(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(10), record("early"));
+        e.schedule_at(SimTime::from_nanos(100), record("late"));
+        e.run_until(&mut w, SimTime::from_nanos(50));
+        assert_eq!(w, vec![(10, "early")]);
+        assert_eq!(e.now(), SimTime::from_nanos(10));
+        e.run(&mut w);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn run_until_advances_idle_clock() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w: World = Vec::new();
+        e.run_until(&mut w, SimTime::from_nanos(42));
+        assert_eq!(e.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(10), record("x"));
+        e.run(&mut w);
+        e.schedule_at(SimTime::from_nanos(5), record("bad"));
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_trips() {
+        let mut e = Engine::new().with_event_limit(10);
+        let mut w: World = Vec::new();
+        fn rearm(s: &mut Scheduler<World>) {
+            s.schedule_in(
+                SimDuration::from_nanos(1),
+                Box::new(|s, _w: &mut World| rearm(s)),
+            );
+        }
+        e.schedule_in(
+            SimDuration::from_nanos(1),
+            Box::new(|s, _w: &mut World| rearm(s)),
+        );
+        e.run(&mut w);
+    }
+
+    #[test]
+    fn clock_is_monotone_across_steps() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(7), record("a"));
+        e.schedule_at(SimTime::from_nanos(7), record("b"));
+        e.schedule_at(SimTime::from_nanos(9), record("c"));
+        let mut last = SimTime::ZERO;
+        while e.step(&mut w) {
+            assert!(e.now() >= last);
+            last = e.now();
+        }
+        assert_eq!(e.now(), SimTime::from_nanos(9));
+    }
+}

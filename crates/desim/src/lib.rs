@@ -1,0 +1,46 @@
+//! # desim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the multicomputer simulator used to reproduce the
+//! HPCA'97 MPI collective-communication study. Everything above this crate
+//! (topologies, machine models, the MPI layer) is expressed in terms of:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — integer-nanosecond clock;
+//! * [`engine::Engine`] — a time-ordered event queue over a user world
+//!   type, with deterministic FIFO tie-breaking;
+//! * [`resource::FifoResource`] — serializing servers used for links, NIC
+//!   ports and DMA engines;
+//! * [`rng::SplitMix64`] — seeded randomness for clock skew and noise;
+//! * [`stats`] — summary statistics matching the paper's min/max/mean
+//!   aggregation.
+//!
+//! # Examples
+//!
+//! A two-event simulation:
+//!
+//! ```
+//! use desim::{Engine, SimDuration};
+//!
+//! let mut engine: Engine<u32> = Engine::new();
+//! let mut world = 0u32;
+//! engine.schedule_in(SimDuration::from_micros(1), Box::new(|s, w: &mut u32| {
+//!     *w += 1;
+//!     s.schedule_in(SimDuration::from_micros(2), Box::new(|_, w: &mut u32| *w += 10));
+//! }));
+//! let end = engine.run(&mut world);
+//! assert_eq!(world, 11);
+//! assert_eq!(end.as_micros_f64(), 3.0);
+//! ```
+
+pub mod calqueue;
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calqueue::CalendarQueue;
+pub use engine::{Engine, EventFn, Scheduler};
+pub use resource::{FifoResource, Grant, ResourcePool};
+pub use rng::SplitMix64;
+pub use stats::{Counter, LogHistogram, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,226 @@
+//! Serializing resources.
+//!
+//! Network links, NIC injection ports, and DMA engines are all modeled as
+//! FIFO servers: a request occupies the resource for a known duration and
+//! requests queue in arrival order. Because occupancy durations are known
+//! at request time, a resource reduces to a single `free_at` watermark —
+//! no event-queue interaction is needed, which keeps the hot path of the
+//! network model allocation-free.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single-server FIFO resource with deterministic service times.
+///
+/// # Examples
+///
+/// ```
+/// use desim::resource::FifoResource;
+/// use desim::time::{SimDuration, SimTime};
+///
+/// let mut link = FifoResource::new();
+/// // Two back-to-back 10 ns transmissions requested at t=0:
+/// let g1 = link.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+/// let g2 = link.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+/// assert_eq!(g1.start.as_nanos(), 0);
+/// assert_eq!(g2.start.as_nanos(), 10); // serialized behind the first
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FifoResource {
+    free_at: SimTime,
+    busy: SimDuration,
+    grants: u64,
+}
+
+/// The outcome of an [`FifoResource::acquire`]: when service starts and ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grant {
+    /// Instant the resource begins serving this request.
+    pub start: SimTime,
+    /// Instant the resource becomes free again.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time the request spent waiting before service began.
+    pub fn queue_delay(&self, requested_at: SimTime) -> SimDuration {
+        self.start.since(requested_at)
+    }
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the resource at `now` for `service` time; returns the grant.
+    ///
+    /// Requests made at an earlier `now` than a previous call are still
+    /// serialized behind it (FIFO in *call* order), which is the order the
+    /// deterministic engine produces.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let start = now.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        self.grants += 1;
+        Grant { start, end }
+    }
+
+    /// Earliest instant a new request would begin service.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total service time granted so far (busy time).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Utilization of the resource over `[0, horizon]`, in `[0, 1]`.
+    ///
+    /// Returns 0 for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+
+    /// Forgets all occupancy, returning the resource to idle.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A pool of identical FIFO resources indexed by a dense `usize` id, e.g.
+/// every unidirectional link in a topology.
+#[derive(Debug, Clone, Default)]
+pub struct ResourcePool {
+    slots: Vec<FifoResource>,
+}
+
+impl ResourcePool {
+    /// Creates a pool of `n` idle resources.
+    pub fn new(n: usize) -> Self {
+        ResourcePool {
+            slots: vec![FifoResource::new(); n],
+        }
+    }
+
+    /// Number of resources in the pool.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Acquires resource `id` at `now` for `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn acquire(&mut self, id: usize, now: SimTime, service: SimDuration) -> Grant {
+        self.slots[id].acquire(now, service)
+    }
+
+    /// Read access to resource `id`, or `None` if out of range.
+    pub fn get(&self, id: usize) -> Option<&FifoResource> {
+        self.slots.get(id)
+    }
+
+    /// Returns all resources to idle.
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            s.reset();
+        }
+    }
+
+    /// The busiest resource: `(id, busy_time)`, or `None` for an empty pool.
+    pub fn hottest(&self) -> Option<(usize, SimDuration)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.busy_time()))
+            .max_by_key(|&(_, b)| b)
+    }
+
+    /// Sum of busy time across all resources.
+    pub fn total_busy(&self) -> SimDuration {
+        self.slots.iter().map(|s| s.busy_time()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NS: fn(u64) -> SimDuration = SimDuration::from_nanos;
+    const AT: fn(u64) -> SimTime = SimTime::from_nanos;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FifoResource::new();
+        let g = r.acquire(AT(5), NS(10));
+        assert_eq!(g.start, AT(5));
+        assert_eq!(g.end, AT(15));
+        assert_eq!(g.queue_delay(AT(5)), NS(0));
+    }
+
+    #[test]
+    fn contention_serializes() {
+        let mut r = FifoResource::new();
+        r.acquire(AT(0), NS(100));
+        let g = r.acquire(AT(30), NS(50));
+        assert_eq!(g.start, AT(100));
+        assert_eq!(g.end, AT(150));
+        assert_eq!(g.queue_delay(AT(30)), NS(70));
+    }
+
+    #[test]
+    fn gap_leaves_resource_idle() {
+        let mut r = FifoResource::new();
+        r.acquire(AT(0), NS(10));
+        let g = r.acquire(AT(100), NS(10));
+        assert_eq!(g.start, AT(100), "no queueing after the resource drained");
+        assert_eq!(r.busy_time(), NS(20));
+        assert_eq!(r.grants(), 2);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut r = FifoResource::new();
+        r.acquire(AT(0), NS(50));
+        assert!((r.utilization(AT(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+        r.acquire(AT(0), NS(500));
+        assert_eq!(r.utilization(AT(100)), 1.0, "clamped to 1");
+    }
+
+    #[test]
+    fn pool_tracks_hottest() {
+        let mut p = ResourcePool::new(3);
+        p.acquire(0, AT(0), NS(5));
+        p.acquire(2, AT(0), NS(50));
+        p.acquire(1, AT(0), NS(20));
+        assert_eq!(p.hottest(), Some((2, NS(50))));
+        assert_eq!(p.total_busy(), NS(75));
+        p.reset();
+        assert_eq!(p.total_busy(), NS(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn pool_out_of_range_panics() {
+        let mut p = ResourcePool::new(1);
+        p.acquire(7, AT(0), NS(1));
+    }
+}

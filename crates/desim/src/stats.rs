@@ -1,0 +1,319 @@
+//! Lightweight statistics collection for simulation output.
+//!
+//! The harness aggregates per-rank timings exactly as the paper does
+//! (min / max / mean over processes and repetitions); [`Summary`] provides
+//! those moments plus dispersion, and [`LogHistogram`] gives cheap
+//! power-of-two latency histograms for diagnostics.
+
+use crate::time::SimDuration;
+
+/// Running summary statistics over `f64` samples (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use desim::stats::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a simulated duration as microseconds (the paper's unit).
+    pub fn record_duration_us(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the summary is empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the summary is empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Population variance; 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+/// A histogram with power-of-two nanosecond buckets, for latency spreads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterator over `(bucket_floor_ns, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Approximate quantile (returns a bucket floor). `q` in `[0, 1]`.
+    ///
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let floor = if i == 0 { 0 } else { 1u64 << i };
+                return Some(SimDuration::from_nanos(floor));
+            }
+        }
+        None
+    }
+}
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min of empty")]
+    fn empty_min_panics() {
+        Summary::new().min();
+    }
+
+    #[test]
+    fn merge_matches_bulk() {
+        let all: Summary = (0..100).map(|i| i as f64).collect();
+        let mut left: Summary = (0..37).map(|i| i as f64).collect();
+        let right: Summary = (37..100).map(|i| i as f64).collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-6);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_nanos(0));
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_nanos(1023));
+        h.record(SimDuration::from_nanos(1024));
+        assert_eq!(h.count(), 4);
+        let buckets: Vec<_> = h.iter().collect();
+        assert!(buckets.contains(&(0, 2))); // 0 and 1 share bucket 0
+        assert!(buckets.contains(&(512, 1)));
+        assert!(buckets.contains(&(1024, 1)));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LogHistogram::new();
+        for ns in [1u64, 2, 4, 8, 1_000_000] {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(h.quantile(0.0).unwrap().as_nanos(), 0);
+        assert!(h.quantile(1.0).unwrap().as_nanos() >= 512 * 1024);
+        assert!(LogHistogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(u64::MAX);
+        assert_eq!(c.value(), u64::MAX);
+    }
+}

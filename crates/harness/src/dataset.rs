@@ -1,0 +1,405 @@
+//! Measurement collections and series extraction.
+//!
+//! A [`Dataset`] holds the `T(m, p)` grid for any number of machines and
+//! operations and answers the queries the paper's figures need: time vs
+//! machine size at fixed message length (Figs. 1, 3), time vs message
+//! length at fixed size (Fig. 2), and the full grid for fitting
+//! (Table 3).
+
+use crate::measure::Measurement;
+use mpisim::OpClass;
+
+/// Header of the dataset CSV interchange format.
+pub const CSV_HEADER: &str = "machine,operation,bytes,nodes,time_us,min_time_us,mean_time_us";
+
+/// Why a dataset CSV failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDatasetError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDatasetError {}
+
+fn op_from_name(name: &str) -> Option<OpClass> {
+    OpClass::COLLECTIVES
+        .into_iter()
+        .chain([OpClass::PointToPoint])
+        .find(|op| op.paper_name() == name)
+}
+
+/// A collection of measurements with series queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    points: Vec<Measurement>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.points.push(m);
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over all measurements.
+    pub fn iter(&self) -> impl Iterator<Item = &Measurement> {
+        self.points.iter()
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend(&mut self, other: Dataset) {
+        self.points.extend(other.points);
+    }
+
+    /// All measurements of `op` on `machine`.
+    pub fn slice<'a>(
+        &'a self,
+        machine: &'a str,
+        op: OpClass,
+    ) -> impl Iterator<Item = &'a Measurement> + 'a {
+        self.points
+            .iter()
+            .filter(move |m| m.machine == machine && m.op == op)
+    }
+
+    /// Time-vs-nodes series at fixed message length: sorted
+    /// `(p, time_us)` pairs.
+    pub fn series_vs_nodes(&self, machine: &str, op: OpClass, bytes: u32) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .slice(machine, op)
+            .filter(|m| m.bytes == bytes)
+            .map(|m| (m.nodes, m.time_us))
+            .collect();
+        v.sort_unstable_by_key(|&(p, _)| p);
+        v.dedup_by_key(|&mut (p, _)| p);
+        v
+    }
+
+    /// Time-vs-message-length series at fixed machine size: sorted
+    /// `(m, time_us)` pairs.
+    pub fn series_vs_bytes(&self, machine: &str, op: OpClass, nodes: usize) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = self
+            .slice(machine, op)
+            .filter(|m| m.nodes == nodes)
+            .map(|m| (m.bytes, m.time_us))
+            .collect();
+        v.sort_unstable_by_key(|&(b, _)| b);
+        v.dedup_by_key(|&mut (b, _)| b);
+        v
+    }
+
+    /// The full `(m, p, time_us)` grid for `machine`/`op`, the input to
+    /// two-dimensional fitting.
+    pub fn grid(&self, machine: &str, op: OpClass) -> Vec<(u32, usize, f64)> {
+        let mut v: Vec<(u32, usize, f64)> = self
+            .slice(machine, op)
+            .map(|m| (m.bytes, m.nodes, m.time_us))
+            .collect();
+        v.sort_unstable_by_key(|&(b, p, _)| (b, p));
+        v
+    }
+
+    /// The single measurement at exactly `(machine, op, bytes, nodes)`.
+    pub fn at(&self, machine: &str, op: OpClass, bytes: u32, nodes: usize) -> Option<&Measurement> {
+        self.points
+            .iter()
+            .find(|m| m.machine == machine && m.op == op && m.bytes == bytes && m.nodes == nodes)
+    }
+
+    /// Machine names present, in first-seen order.
+    pub fn machines(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for m in &self.points {
+            if !names.contains(&m.machine) {
+                names.push(m.machine.clone());
+            }
+        }
+        names
+    }
+
+    /// Operations present, in [`OpClass::COLLECTIVES`] order.
+    pub fn ops(&self) -> Vec<OpClass> {
+        OpClass::COLLECTIVES
+            .into_iter()
+            .filter(|&op| self.points.iter().any(|m| m.op == op))
+            .collect()
+    }
+}
+
+impl Dataset {
+    /// Serializes to the CSV interchange format (per-repetition data is
+    /// not retained).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for m in &self.points {
+            // Machine names contain no commas/quotes by construction,
+            // but escape defensively.
+            let name = if m.machine.contains(',') || m.machine.contains('"') {
+                format!("\"{}\"", m.machine.replace('"', "\"\""))
+            } else {
+                m.machine.clone()
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{:.3},{:.3},{:.3}\n",
+                name,
+                m.op.paper_name(),
+                m.bytes,
+                m.nodes,
+                m.time_us,
+                m.min_time_us,
+                m.mean_time_us
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV interchange format produced by [`Dataset::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDatasetError`] with the offending line on malformed
+    /// input (wrong header, field count, unknown operation, bad numbers).
+    pub fn from_csv(text: &str) -> Result<Dataset, ParseDatasetError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == CSV_HEADER => {}
+            Some((_, h)) => {
+                return Err(ParseDatasetError {
+                    line: 1,
+                    message: format!("unexpected header {h:?}"),
+                })
+            }
+            None => {
+                return Err(ParseDatasetError {
+                    line: 1,
+                    message: "empty input".into(),
+                })
+            }
+        }
+        let mut data = Dataset::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |message: String| ParseDatasetError {
+                line: lineno,
+                message,
+            };
+            // The machine name may be quoted (and contain commas); the
+            // remaining six fields never are.
+            let (machine, rest) = if let Some(stripped) = line.strip_prefix('"') {
+                let close = stripped.find('"').and_then(|mut i| {
+                    // Skip doubled quotes inside the name.
+                    let b = stripped.as_bytes();
+                    while b.get(i + 1) == Some(&b'"') {
+                        i = match stripped[i + 2..].find('"') {
+                            Some(j) => i + 2 + j,
+                            None => return None,
+                        };
+                    }
+                    Some(i)
+                });
+                let Some(close) = close else {
+                    return Err(err("unterminated quoted machine name".into()));
+                };
+                let name = stripped[..close].replace("\"\"", "\"");
+                let rest = stripped[close + 1..]
+                    .strip_prefix(',')
+                    .ok_or_else(|| err("expected ',' after quoted name".into()))?;
+                (name, rest)
+            } else {
+                let Some((name, rest)) = line.split_once(',') else {
+                    return Err(err("expected 7 fields, got 1".into()));
+                };
+                (name.to_string(), rest)
+            };
+            let fields: Vec<&str> = rest.split(',').collect();
+            if fields.len() != 6 {
+                return Err(err(format!("expected 7 fields, got {}", fields.len() + 1)));
+            }
+            // Re-index: fields[0] is now the operation.
+            let fields: Vec<&str> = std::iter::once("").chain(fields).collect();
+            let op = op_from_name(fields[1])
+                .ok_or_else(|| err(format!("unknown operation {:?}", fields[1])))?;
+            let parse_u = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|e| err(format!("bad {what} {s:?}: {e}")))
+            };
+            let parse_f = |s: &str, what: &str| {
+                s.parse::<f64>()
+                    .map_err(|e| err(format!("bad {what} {s:?}: {e}")))
+            };
+            let time_us = parse_f(fields[4], "time_us")?;
+            data.push(Measurement {
+                machine,
+                op,
+                bytes: parse_u(fields[2], "bytes")? as u32,
+                nodes: parse_u(fields[3], "nodes")? as usize,
+                time_us,
+                min_time_us: parse_f(fields[5], "min_time_us")?,
+                mean_time_us: parse_f(fields[6], "mean_time_us")?,
+                per_repetition_us: vec![time_us],
+            });
+        }
+        Ok(data)
+    }
+}
+
+impl FromIterator<Measurement> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Measurement>>(iter: I) -> Self {
+        Dataset {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Measurement> for Dataset {
+    fn extend<I: IntoIterator<Item = Measurement>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(machine: &str, op: OpClass, bytes: u32, nodes: usize, t: f64) -> Measurement {
+        Measurement {
+            machine: machine.into(),
+            op,
+            bytes,
+            nodes,
+            time_us: t,
+            min_time_us: t * 0.9,
+            mean_time_us: t * 0.95,
+            per_repetition_us: vec![t],
+        }
+    }
+
+    fn sample() -> Dataset {
+        [
+            point("A", OpClass::Bcast, 16, 2, 10.0),
+            point("A", OpClass::Bcast, 16, 8, 30.0),
+            point("A", OpClass::Bcast, 16, 4, 20.0),
+            point("A", OpClass::Bcast, 64, 4, 25.0),
+            point("A", OpClass::Gather, 16, 4, 40.0),
+            point("B", OpClass::Bcast, 16, 4, 50.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn series_vs_nodes_sorted_and_filtered() {
+        let d = sample();
+        assert_eq!(
+            d.series_vs_nodes("A", OpClass::Bcast, 16),
+            vec![(2, 10.0), (4, 20.0), (8, 30.0)]
+        );
+        assert!(d.series_vs_nodes("C", OpClass::Bcast, 16).is_empty());
+    }
+
+    #[test]
+    fn series_vs_bytes() {
+        let d = sample();
+        assert_eq!(
+            d.series_vs_bytes("A", OpClass::Bcast, 4),
+            vec![(16, 20.0), (64, 25.0)]
+        );
+    }
+
+    #[test]
+    fn grid_and_at() {
+        let d = sample();
+        assert_eq!(d.grid("A", OpClass::Bcast).len(), 4);
+        assert_eq!(d.at("A", OpClass::Gather, 16, 4).unwrap().time_us, 40.0);
+        assert!(d.at("A", OpClass::Gather, 999, 4).is_none());
+    }
+
+    #[test]
+    fn machines_and_ops_enumeration() {
+        let d = sample();
+        assert_eq!(d.machines(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(d.ops(), vec![OpClass::Bcast, OpClass::Gather]);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let d = sample();
+        let csv = d.to_csv();
+        let back = Dataset::from_csv(&csv).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (a, b) in d.iter().zip(back.iter()) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.nodes, b.nodes);
+            assert!((a.time_us - b.time_us).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(Dataset::from_csv("").is_err());
+        assert!(Dataset::from_csv("not,the,header\n").is_err());
+        let bad_row = format!("{CSV_HEADER}\nA,Broadcast,10\n");
+        let e = Dataset::from_csv(&bad_row).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("7 fields"));
+        let bad_op = format!("{CSV_HEADER}\nA,Bogus,1,2,3,4,5\n");
+        assert!(Dataset::from_csv(&bad_op).is_err());
+        let bad_num = format!("{CSV_HEADER}\nA,Broadcast,x,2,3,4,5\n");
+        assert!(Dataset::from_csv(&bad_num).is_err());
+    }
+
+    #[test]
+    fn csv_round_trips_quoted_machine_names() {
+        let mut d = Dataset::new();
+        d.push(point("Cluster, Inc. \"NOW\"", OpClass::Bcast, 4, 2, 10.0));
+        let back = Dataset::from_csv(&d.to_csv()).unwrap();
+        assert_eq!(back.iter().next().unwrap().machine, "Cluster, Inc. \"NOW\"");
+        // Unterminated quote is a parse error, not a panic.
+        let bad = format!("{CSV_HEADER}\n\"open,Broadcast,4,2,1,1,1\n");
+        assert!(Dataset::from_csv(&bad).is_err());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let csv = format!("{CSV_HEADER}\n\nA,Broadcast,4,2,10.000,9.000,9.500\n\n");
+        let d = Dataset::from_csv(&csv).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut d = sample();
+        let n = d.len();
+        d.extend(sample());
+        assert_eq!(d.len(), 2 * n);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Parameter sweeps over (machine, operation, message length, nodes).
+//!
+//! The paper's grid: `m ∈ {4, 16, …, 64K}` bytes (powers of four) and
+//! `p ∈ {2, 4, …, 128}` (powers of two), with the T3D capped at 64
+//! nodes (§2). [`SweepBuilder`] produces that grid or any sub-grid, runs
+//! the [`measure()`](crate::measure::measure) procedure at every point,
+//! and collects a [`Dataset`].
+
+use crate::dataset::Dataset;
+use crate::measure::measure;
+use crate::protocol::Protocol;
+use mpisim::{Machine, OpClass, SimMpiError};
+
+/// The paper's message-length grid: 4 B to 64 KB in powers of four.
+pub const PAPER_MESSAGE_SIZES: [u32; 8] = [4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536];
+
+/// The paper's machine-size grid: 2 to 128 nodes in powers of two.
+pub const PAPER_NODE_COUNTS: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// Builds and runs measurement sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use harness::{Protocol, SweepBuilder};
+/// use mpisim::{Machine, OpClass};
+///
+/// let data = SweepBuilder::new()
+///     .machines([Machine::t3d()])
+///     .ops([OpClass::Bcast])
+///     .message_sizes([16])
+///     .node_counts([2, 4])
+///     .protocol(Protocol::quick())
+///     .run()?;
+/// assert_eq!(data.len(), 2);
+/// # Ok::<(), mpisim::SimMpiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
+    machines: Vec<Machine>,
+    ops: Vec<OpClass>,
+    sizes: Vec<u32>,
+    nodes: Vec<usize>,
+    protocol: Protocol,
+}
+
+impl Default for SweepBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepBuilder {
+    /// A sweep over the paper's full grid: all three machines, all seven
+    /// collectives, all message sizes and node counts.
+    pub fn new() -> Self {
+        SweepBuilder {
+            machines: Machine::all().to_vec(),
+            ops: OpClass::COLLECTIVES.to_vec(),
+            sizes: PAPER_MESSAGE_SIZES.to_vec(),
+            nodes: PAPER_NODE_COUNTS.to_vec(),
+            protocol: Protocol::paper(),
+        }
+    }
+
+    /// Restricts the machines.
+    pub fn machines(mut self, machines: impl IntoIterator<Item = Machine>) -> Self {
+        self.machines = machines.into_iter().collect();
+        self
+    }
+
+    /// Restricts the operations.
+    pub fn ops(mut self, ops: impl IntoIterator<Item = OpClass>) -> Self {
+        self.ops = ops.into_iter().collect();
+        self
+    }
+
+    /// Restricts the message lengths (bytes).
+    pub fn message_sizes(mut self, sizes: impl IntoIterator<Item = u32>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Restricts the machine sizes (node counts).
+    pub fn node_counts(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        self.nodes = nodes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the measurement protocol.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Number of grid points this sweep will measure (after per-machine
+    /// node caps).
+    pub fn points(&self) -> usize {
+        let barrier = self.ops.contains(&OpClass::Barrier) && !self.sizes.is_empty();
+        // Duplicate sizes still measure each non-barrier op once per entry,
+        // matching the run loop.
+        let other_ops = self.ops.iter().filter(|&&o| o != OpClass::Barrier).count();
+        let per_partition = other_ops * self.sizes.len() + usize::from(barrier);
+        self.machines
+            .iter()
+            .map(|mach| {
+                let valid_nodes = self
+                    .nodes
+                    .iter()
+                    .filter(|&&p| p <= mach.spec().max_nodes)
+                    .count();
+                valid_nodes * per_partition
+            })
+            .sum()
+    }
+
+    /// Runs the sweep, invoking `progress` after each point.
+    ///
+    /// Node counts beyond a machine's measured maximum are skipped (the
+    /// paper reports the T3D only to 64 nodes for the same reason).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn run_with_progress(
+        &self,
+        mut progress: impl FnMut(usize, usize),
+    ) -> Result<Dataset, SimMpiError> {
+        let total = self.points();
+        let mut data = Dataset::new();
+        let mut done = 0;
+        for machine in &self.machines {
+            for &p in &self.nodes {
+                if p > machine.spec().max_nodes {
+                    continue;
+                }
+                let comm = machine.communicator(p)?;
+                for &op in &self.ops {
+                    // Barrier ignores the message length: measure it once
+                    // per (machine, p), regardless of the size grid.
+                    let mut barrier_done = false;
+                    for &m in &self.sizes {
+                        if op == OpClass::Barrier {
+                            if barrier_done {
+                                continue;
+                            }
+                            barrier_done = true;
+                        }
+                        let bytes = if op == OpClass::Barrier { 0 } else { m };
+                        data.push(measure(&comm, op, bytes, &self.protocol)?);
+                        done += 1;
+                        progress(done, total);
+                    }
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    /// Runs the sweep silently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn run(&self) -> Result<Dataset, SimMpiError> {
+        self.run_with_progress(|_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_grid() {
+        let data = SweepBuilder::new()
+            .machines([Machine::t3d(), Machine::sp2()])
+            .ops([OpClass::Bcast, OpClass::Gather])
+            .message_sizes([16, 1024])
+            .node_counts([2, 8])
+            .protocol(Protocol::quick())
+            .run()
+            .unwrap();
+        assert_eq!(data.len(), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn t3d_capped_at_64_nodes() {
+        let b = SweepBuilder::new()
+            .machines([Machine::t3d()])
+            .ops([OpClass::Bcast])
+            .message_sizes([16])
+            .node_counts([64, 128]);
+        assert_eq!(b.points(), 1);
+        let data = b.protocol(Protocol::quick()).run().unwrap();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data.iter().next().unwrap().nodes, 64);
+    }
+
+    #[test]
+    fn barrier_measured_once_per_size_grid() {
+        let data = SweepBuilder::new()
+            .machines([Machine::sp2()])
+            .ops([OpClass::Barrier])
+            .message_sizes([4, 16, 64])
+            .node_counts([4])
+            .protocol(Protocol::quick())
+            .run()
+            .unwrap();
+        assert_eq!(data.len(), 1, "barrier has no message length");
+        assert_eq!(data.iter().next().unwrap().bytes, 0);
+    }
+
+    #[test]
+    fn duplicate_sizes_measure_barrier_once() {
+        let b = SweepBuilder::new()
+            .machines([Machine::t3d()])
+            .ops([OpClass::Barrier])
+            .message_sizes([4, 4, 16])
+            .node_counts([2]);
+        assert_eq!(b.points(), 1);
+        let mut calls = 0;
+        let data = b
+            .protocol(Protocol::quick())
+            .run_with_progress(|done, total| {
+                calls += 1;
+                assert!(done <= total, "{done} > {total}");
+            })
+            .unwrap();
+        assert_eq!(data.len(), 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn progress_reported() {
+        let mut calls = 0;
+        SweepBuilder::new()
+            .machines([Machine::t3d()])
+            .ops([OpClass::Scan])
+            .message_sizes([4])
+            .node_counts([2, 4])
+            .protocol(Protocol::quick())
+            .run_with_progress(|done, total| {
+                calls += 1;
+                assert!(done <= total);
+            })
+            .unwrap();
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,597 @@
+//! The [`Communicator`]: MPI-style collective entry points over a
+//! simulated partition.
+
+use crate::datatype::Datatype;
+use crate::error::SimMpiError;
+use crate::exec::{execute, CpuNoise, ExecConfig, ExecOutcome};
+use crate::machine::Machine;
+use collectives::{build, extra, Rank, Schedule, Step};
+use desim::{SimDuration, SimTime};
+use netmodel::OpClass;
+
+/// Per-run execution options for [`Communicator::run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Per-rank start instants (skewed clocks); default all-zero.
+    pub start_times: Option<Vec<SimTime>>,
+    /// Background-interference CPU noise.
+    pub cpu_noise: Option<CpuNoise>,
+    /// Record message traces and link loads.
+    pub record_trace: bool,
+}
+
+/// How a communicator's ranks map onto the machine.
+#[derive(Debug, Clone, Default)]
+enum CommScope {
+    /// Ranks 0..p on nodes 0..p via the machine's placement policy.
+    #[default]
+    Whole,
+    /// A subgroup on explicit nodes of a larger partition.
+    Group {
+        placement: crate::placement::ExplicitPlacement,
+        machine_nodes: usize,
+    },
+}
+
+/// The outcome of one collective operation: per-rank elapsed times plus
+/// traffic counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveOutcome {
+    per_rank: Vec<SimDuration>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl CollectiveOutcome {
+    /// The paper's headline number: the **maximum** elapsed time over all
+    /// ranks ("it reflects the condition that all processes involved …
+    /// have finished the operation", §2).
+    pub fn time(&self) -> SimDuration {
+        self.per_rank.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The minimum per-rank elapsed time.
+    pub fn min_time(&self) -> SimDuration {
+        self.per_rank.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The mean per-rank elapsed time, microseconds.
+    pub fn mean_time_us(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.per_rank
+            .iter()
+            .map(|d| d.as_micros_f64())
+            .sum::<f64>()
+            / self.per_rank.len() as f64
+    }
+
+    /// Per-rank elapsed times.
+    pub fn per_rank(&self) -> &[SimDuration] {
+        &self.per_rank
+    }
+
+    /// Messages injected into the network.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes injected into the network.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A group of `p` simulated processes, one per node, on one machine.
+///
+/// Each collective call executes the machine's algorithm for that
+/// operation on a *fresh* network state (a quiet machine in dedicated
+/// mode, as the paper's runs were), returning per-rank timings. For the
+/// paper's full measurement methodology (warm-up, k-iteration loops,
+/// max-reduction) use the `harness` crate, which drives
+/// [`Communicator::run_sequence`].
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    machine: Machine,
+    size: usize,
+    scope: CommScope,
+}
+
+impl Communicator {
+    pub(crate) fn new(machine: Machine, size: usize) -> Self {
+        Communicator {
+            machine,
+            size,
+            scope: CommScope::Whole,
+        }
+    }
+
+    pub(crate) fn new_group(
+        machine: Machine,
+        placement: crate::placement::ExplicitPlacement,
+        machine_nodes: usize,
+    ) -> Self {
+        Communicator {
+            machine,
+            size: placement.ranks(),
+            scope: CommScope::Group {
+                placement,
+                machine_nodes,
+            },
+        }
+    }
+
+    /// Derives a subgroup communicator over the named member ranks (the
+    /// `MPI_Comm_split`/group mechanism): member `i` of the new group
+    /// keeps running on the physical node member `ranks[i]` occupies in
+    /// this communicator, while the machine partition — and therefore
+    /// the network the subgroup shares — stays the full size.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty, duplicate, or out-of-range member lists.
+    pub fn group(&self, ranks: &[usize]) -> Result<Communicator, SimMpiError> {
+        if ranks.is_empty() {
+            return Err(SimMpiError::InvalidSize {
+                requested: 0,
+                max: self.size,
+            });
+        }
+        // Resolve each member through this communicator's own mapping.
+        let parent_nodes: Vec<usize> = match &self.scope {
+            CommScope::Whole => {
+                let table = self
+                    .machine
+                    .placement()
+                    .table(self.size)
+                    .map_err(SimMpiError::InvalidSpec)?;
+                ranks
+                    .iter()
+                    .map(|&r| table.get(r).map(|n| n.0))
+                    .collect::<Option<Vec<usize>>>()
+                    .ok_or(SimMpiError::InvalidRank {
+                        rank: *ranks.iter().max().expect("non-empty"),
+                        size: self.size,
+                    })?
+            }
+            CommScope::Group { placement, .. } => ranks
+                .iter()
+                .map(|&r| placement.table().get(r).map(|n| n.0))
+                .collect::<Option<Vec<usize>>>()
+                .ok_or(SimMpiError::InvalidRank {
+                    rank: *ranks.iter().max().expect("non-empty"),
+                    size: self.size,
+                })?,
+        };
+        let machine_nodes = match &self.scope {
+            CommScope::Whole => self.size,
+            CommScope::Group { machine_nodes, .. } => *machine_nodes,
+        };
+        let placement =
+            crate::placement::ExplicitPlacement::new(parent_nodes, machine_nodes)
+                .map_err(SimMpiError::InvalidSpec)?;
+        Ok(Communicator::new_group(
+            self.machine.clone(),
+            placement,
+            machine_nodes,
+        ))
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine this communicator lives on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn check_rank(&self, r: Rank) -> Result<(), SimMpiError> {
+        if r.0 >= self.size {
+            return Err(SimMpiError::InvalidRank {
+                rank: r.0,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds this machine's schedule for `class` (vendor or generic per
+    /// the machine policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank validation and algorithm-selection failures.
+    pub fn schedule(
+        &self,
+        class: OpClass,
+        root: Rank,
+        bytes: u32,
+    ) -> Result<Schedule, SimMpiError> {
+        self.check_rank(root)?;
+        let alg = self.machine.algorithm_for(class);
+        Ok(build(alg, class, self.size, root, bytes)?)
+    }
+
+    /// Runs one schedule from a cold start and returns per-rank timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run(&self, schedule: &Schedule) -> Result<CollectiveOutcome, SimMpiError> {
+        let out = self.run_sequence(&[schedule], None)?;
+        Ok(self.outcome_from(&out, 0))
+    }
+
+    /// Like [`Communicator::run`], but also records every message's
+    /// posting and delivery instants (for timeline rendering and
+    /// debugging).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run_traced(
+        &self,
+        schedule: &Schedule,
+    ) -> Result<(CollectiveOutcome, Vec<crate::exec::MessageTrace>), SimMpiError> {
+        let out = self.run_with(
+            &[schedule],
+            RunOptions {
+                record_trace: true,
+                ..RunOptions::default()
+            },
+        )?;
+        Ok((self.outcome_from(&out, 0), out.trace))
+    }
+
+    /// Runs one schedule with full diagnostics: per-rank timings, the
+    /// message trace, and the link-load distribution (hottest first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run_diagnosed(&self, schedule: &Schedule) -> Result<ExecOutcome, SimMpiError> {
+        self.run_with(
+            &[schedule],
+            RunOptions {
+                record_trace: true,
+                ..RunOptions::default()
+            },
+        )
+    }
+
+    /// Runs several schedules back to back (no implicit sync between
+    /// them), optionally with skewed per-rank start times. This is the
+    /// harness entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run_sequence(
+        &self,
+        segments: &[&Schedule],
+        start_times: Option<Vec<SimTime>>,
+    ) -> Result<ExecOutcome, SimMpiError> {
+        self.run_with(segments, RunOptions {
+            start_times,
+            ..RunOptions::default()
+        })
+    }
+
+    /// Runs segments with full per-run options (skew, interference noise,
+    /// tracing). The most general execution entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run_with(
+        &self,
+        segments: &[&Schedule],
+        options: RunOptions,
+    ) -> Result<ExecOutcome, SimMpiError> {
+        let cfg = ExecConfig {
+            wire: self.machine.wire_config(),
+            start_times: options.start_times,
+            skip_validation: false,
+            record_trace: options.record_trace,
+            placement: self.machine.placement(),
+            cpu_noise: options.cpu_noise,
+            group: match &self.scope {
+                CommScope::Whole => None,
+                CommScope::Group {
+                    placement,
+                    machine_nodes,
+                } => Some((placement.clone(), *machine_nodes)),
+            },
+        };
+        execute(self.machine.spec(), segments, &cfg)
+    }
+
+    fn outcome_from(&self, out: &ExecOutcome, seg: usize) -> CollectiveOutcome {
+        CollectiveOutcome {
+            per_rank: (0..self.size)
+                .map(|r| out.rank_segment_time(seg, r))
+                .collect(),
+            messages: out.messages,
+            bytes: out.bytes,
+        }
+    }
+
+    fn collective(
+        &self,
+        class: OpClass,
+        root: Rank,
+        bytes: u32,
+    ) -> Result<CollectiveOutcome, SimMpiError> {
+        let s = self.schedule(class, root, bytes)?;
+        self.run(&s)
+    }
+
+    /// `MPI_Bcast`: `bytes` from `root` to every rank.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is out of range.
+    pub fn bcast(&self, root: Rank, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Bcast, root, bytes)
+    }
+
+    /// `MPI_Scatter`: a distinct `bytes` block from `root` to each rank.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is out of range.
+    pub fn scatter(&self, root: Rank, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Scatter, root, bytes)
+    }
+
+    /// `MPI_Gather`: a `bytes` block from each rank to `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is out of range.
+    pub fn gather(&self, root: Rank, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Gather, root, bytes)
+    }
+
+    /// `MPI_Reduce`: combine `bytes`-sized vectors onto `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is out of range.
+    pub fn reduce(&self, root: Rank, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Reduce, root, bytes)
+    }
+
+    /// `MPI_Scan`: inclusive prefix combination of `bytes`-sized vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn scan(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Scan, Rank(0), bytes)
+    }
+
+    /// `MPI_Alltoall` (total exchange): `bytes` between every rank pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn alltoall(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Alltoall, Rank(0), bytes)
+    }
+
+    /// `MPI_Barrier`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn barrier(&self) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(OpClass::Barrier, Rank(0), 0)
+    }
+
+    /// `MPI_Allgather` via the ring schedule (extension operation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn allgather(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.run(&extra::allgather_ring(self.size, bytes))
+    }
+
+    /// `MPI_Allreduce` via recursive doubling (extension operation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn allreduce(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.run(&extra::allreduce_recursive_doubling(self.size, bytes))
+    }
+
+    /// `MPI_Allreduce` via Rabenseifner's reduce-scatter + allgather
+    /// (extension operation; bandwidth-optimal for long vectors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn allreduce_rabenseifner(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.run(&extra::allreduce_rabenseifner(self.size, bytes))
+    }
+
+    /// `MPI_Reduce_scatter` via pairwise exchange (extension operation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn reduce_scatter(&self, bytes: u32) -> Result<CollectiveOutcome, SimMpiError> {
+        self.run(&extra::reduce_scatter_pairwise(self.size, bytes))
+    }
+
+    /// Typed collective entry point: `count` elements of `datatype` per
+    /// pairwise message, the way the paper states its parameters
+    /// ("the data type of the message elements is always MPI_FLOAT").
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is out of range for rooted operations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mpisim::{Datatype, Machine, OpClass, Rank};
+    ///
+    /// let comm = Machine::t3d().communicator(16)?;
+    /// // Broadcast 256 floats = 1 KB, the paper's mid-size point.
+    /// let out = comm.collective_typed(OpClass::Bcast, Rank(0), 256, Datatype::Float)?;
+    /// assert!(out.time().as_micros_f64() > 0.0);
+    /// # Ok::<(), mpisim::SimMpiError>(())
+    /// ```
+    pub fn collective_typed(
+        &self,
+        class: OpClass,
+        root: Rank,
+        count: u32,
+        datatype: Datatype,
+    ) -> Result<CollectiveOutcome, SimMpiError> {
+        self.collective(class, root, datatype.message_bytes(count))
+    }
+
+    /// A single point-to-point message `src → dst`, returning the
+    /// end-to-end latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either rank is out of range.
+    pub fn ping(&self, src: Rank, dst: Rank, bytes: u32) -> Result<SimDuration, SimMpiError> {
+        self.check_rank(src)?;
+        self.check_rank(dst)?;
+        let mut s = Schedule::new(OpClass::PointToPoint, self.size);
+        s.push(src, Step::Send { to: dst, bytes });
+        s.push(dst, Step::Recv { from: src, bytes });
+        let out = self.run(&s)?;
+        Ok(out.per_rank()[dst.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn all_collectives_run_on_all_machines() {
+        for machine in Machine::all() {
+            let comm = machine.communicator(16).unwrap();
+            for out in [
+                comm.bcast(Rank(0), 1024).unwrap(),
+                comm.scatter(Rank(0), 1024).unwrap(),
+                comm.gather(Rank(0), 1024).unwrap(),
+                comm.reduce(Rank(0), 1024).unwrap(),
+                comm.scan(1024).unwrap(),
+                comm.alltoall(1024).unwrap(),
+                comm.barrier().unwrap(),
+                comm.allgather(1024).unwrap(),
+                comm.allreduce(1024).unwrap(),
+                comm.reduce_scatter(1024).unwrap(),
+            ] {
+                assert!(out.time() > SimDuration::ZERO, "{}", machine.name());
+                assert!(out.time() >= out.min_time());
+                assert!(out.mean_time_us() <= out.time().as_micros_f64() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn t3d_barrier_is_microseconds_not_hundreds() {
+        let t3d = Machine::t3d();
+        let sp2 = Machine::sp2();
+        let tb = t3d.communicator(64).unwrap().barrier().unwrap().time();
+        let sb = sp2.communicator(64).unwrap().barrier().unwrap().time();
+        assert!(tb.as_micros_f64() < 5.0, "T3D barrier {tb}");
+        assert!(
+            sb.as_micros_f64() > 30.0 * tb.as_micros_f64(),
+            "paper: at least 30x faster; SP2 {sb} vs T3D {tb}"
+        );
+    }
+
+    #[test]
+    fn alltoall_dominates_other_collectives() {
+        // Fig. 4: total exchange demands the longest time.
+        let comm = Machine::sp2().communicator(32).unwrap();
+        let a2a = comm.alltoall(1024).unwrap().time();
+        for other in [
+            comm.bcast(Rank(0), 1024).unwrap().time(),
+            comm.gather(Rank(0), 1024).unwrap().time(),
+            comm.scan(1024).unwrap().time(),
+        ] {
+            assert!(a2a > other);
+        }
+    }
+
+    #[test]
+    fn rank_validation() {
+        let comm = Machine::sp2().communicator(8).unwrap();
+        assert!(matches!(
+            comm.bcast(Rank(8), 4),
+            Err(SimMpiError::InvalidRank { rank: 8, size: 8 })
+        ));
+        assert!(comm.ping(Rank(0), Rank(9), 4).is_err());
+    }
+
+    #[test]
+    fn ping_scales_with_bytes() {
+        let comm = Machine::paragon().communicator(16).unwrap();
+        let small = comm.ping(Rank(0), Rank(15), 16).unwrap();
+        let large = comm.ping(Rank(0), Rank(15), 65_536).unwrap();
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn self_ping_is_local() {
+        let comm = Machine::t3d().communicator(4).unwrap();
+        let t = comm.ping(Rank(1), Rank(1), 1024).unwrap();
+        let remote = comm.ping(Rank(1), Rank(2), 1024).unwrap();
+        assert!(t < remote);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let comm = Machine::sp2().communicator(32).unwrap();
+        let t1 = comm.alltoall(64).unwrap().time();
+        let t2 = comm.alltoall(65_536).unwrap().time();
+        assert!(t2 > t1 * 5);
+    }
+
+    #[test]
+    fn subgroup_collectives_run() {
+        let comm = Machine::t3d().communicator(16).unwrap();
+        // The even ranks form a group of 8 spread across the partition.
+        let group = comm.group(&[0, 2, 4, 6, 8, 10, 12, 14]).unwrap();
+        assert_eq!(group.size(), 8);
+        let out = group.bcast(Rank(0), 4_096).unwrap();
+        assert!(out.time() > SimDuration::ZERO);
+        assert_eq!(out.messages(), 7);
+        // A group of a group resolves through both mappings.
+        let inner = group.group(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(inner.size(), 4);
+        assert!(inner.barrier().unwrap().time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn subgroup_validation() {
+        let comm = Machine::sp2().communicator(8).unwrap();
+        assert!(comm.group(&[]).is_err(), "empty");
+        assert!(comm.group(&[0, 0]).is_err(), "duplicate");
+        assert!(comm.group(&[0, 9]).is_err(), "out of range");
+    }
+
+    #[test]
+    fn outcome_traffic_counts() {
+        let comm = Machine::t3d().communicator(8).unwrap();
+        let out = comm.alltoall(100).unwrap();
+        assert_eq!(out.messages(), 8 * 7);
+        assert_eq!(out.bytes(), 8 * 7 * 100);
+    }
+}

@@ -1,0 +1,84 @@
+//! MPI datatypes.
+//!
+//! The paper's experiments use `MPI_FLOAT` throughout ("in all
+//! operations, single-precision (4-Byte) floating-point numbers are
+//! used", §2). This module gives element counts a type so callers can
+//! speak the paper's language (`bcast_typed(root, 256, Datatype::Float)`
+//! = 1 KB) instead of raw byte counts.
+
+use core::fmt;
+
+/// An MPI basic datatype (the subset the era's benchmarks used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Datatype {
+    /// `MPI_FLOAT` — 4 bytes; the paper's element type.
+    #[default]
+    Float,
+    /// `MPI_DOUBLE` — 8 bytes.
+    Double,
+    /// `MPI_INT` — 4 bytes.
+    Int,
+    /// `MPI_CHAR`/`MPI_BYTE` — 1 byte.
+    Byte,
+    /// `MPI_LONG_LONG` — 8 bytes.
+    LongLong,
+}
+
+impl Datatype {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Datatype::Float | Datatype::Int => 4,
+            Datatype::Double | Datatype::LongLong => 8,
+            Datatype::Byte => 1,
+        }
+    }
+
+    /// The MPI name.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            Datatype::Float => "MPI_FLOAT",
+            Datatype::Double => "MPI_DOUBLE",
+            Datatype::Int => "MPI_INT",
+            Datatype::Byte => "MPI_BYTE",
+            Datatype::LongLong => "MPI_LONG_LONG",
+        }
+    }
+
+    /// Message length in bytes for `count` elements, saturating at
+    /// `u32::MAX`.
+    pub fn message_bytes(self, count: u32) -> u32 {
+        count.saturating_mul(self.size_bytes())
+    }
+}
+
+impl fmt::Display for Datatype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mpi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_mpi() {
+        assert_eq!(Datatype::Float.size_bytes(), 4);
+        assert_eq!(Datatype::Double.size_bytes(), 8);
+        assert_eq!(Datatype::Byte.size_bytes(), 1);
+        assert_eq!(Datatype::default(), Datatype::Float, "the paper's type");
+    }
+
+    #[test]
+    fn message_bytes_saturate() {
+        assert_eq!(Datatype::Float.message_bytes(256), 1_024);
+        assert_eq!(Datatype::Double.message_bytes(u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Datatype::Float.to_string(), "MPI_FLOAT");
+        assert_eq!(Datatype::LongLong.mpi_name(), "MPI_LONG_LONG");
+    }
+}

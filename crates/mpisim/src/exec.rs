@@ -1,0 +1,600 @@
+//! The schedule executor.
+//!
+//! Runs a sequence of collective [`Schedule`]s on the discrete-event
+//! engine over a machine's [`NetState`]. Every rank is a small state
+//! machine: it walks its concatenated step tape, charging software
+//! overheads from the machine's cost table and wire time from the
+//! network model. Ranks flow from one segment into the next without any
+//! implicit synchronization — exactly like the paper's measurement loop,
+//! where a barrier "only synchronizes the processes logically" (§2).
+//!
+//! Per-rank completion timestamps are recorded at every segment boundary,
+//! which is what the measurement harness needs to reconstruct the
+//! paper's per-process `MPI_Wtime` readings.
+
+use crate::error::SimMpiError;
+use crate::placement::{ExplicitPlacement, Placement};
+use collectives::{Schedule, Step};
+use desim::{Engine, Scheduler, SimDuration, SimTime, SplitMix64};
+use netmodel::{MachineSpec, NetState, OpClass, WireConfig};
+use std::collections::{HashMap, VecDeque};
+use topo::NodeId;
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Wire-model ablation switches.
+    pub wire: WireConfig,
+    /// Per-rank start instants (models unsynchronized node clocks /
+    /// skewed arrival). Default: everyone starts at time zero.
+    pub start_times: Option<Vec<SimTime>>,
+    /// Validate every schedule before running (on by default via
+    /// [`ExecConfig::default`] — turn off only in hot measurement loops
+    /// that re-run already-validated schedules).
+    pub skip_validation: bool,
+    /// Record a per-message trace (see [`MessageTrace`]). Off by default:
+    /// tracing a 128-node alltoall allocates one record per message.
+    pub record_trace: bool,
+    /// Rank-to-node placement (§9 accuracy factor: "runtime node
+    /// allocation affects the … collective communication pattern").
+    pub placement: Placement,
+    /// Multiplicative per-rank CPU slowdown modeling interference from
+    /// other users and OS daemons (§9 accuracy factor). Each rank draws
+    /// a factor uniformly from `[1, 1 + amplitude]`.
+    pub cpu_noise: Option<CpuNoise>,
+    /// Subgroup execution: an explicit rank→node map together with the
+    /// size of the full machine partition the topology is built for.
+    /// Overrides `placement` when set.
+    pub group: Option<(ExplicitPlacement, usize)>,
+}
+
+/// Background-interference model: per-rank CPU slowdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuNoise {
+    /// Maximum fractional slowdown (0.1 = up to 10% slower).
+    pub amplitude: f64,
+    /// Draw seed.
+    pub seed: u64,
+}
+
+/// One traced message: who sent what to whom, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageTrace {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Operation class the message belongs to.
+    pub class: OpClass,
+    /// Instant the sender's CPU finished its per-message overhead and
+    /// handed the payload to the network.
+    pub posted: SimTime,
+    /// Instant the full payload arrived at the destination node.
+    pub delivered: SimTime,
+}
+
+/// The outcome of executing a schedule sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Per-rank start instants actually used.
+    pub start: Vec<SimTime>,
+    /// `finish[segment][rank]`: when each rank completed each segment.
+    pub finish: Vec<Vec<SimTime>>,
+    /// Total messages injected into the network.
+    pub messages: u64,
+    /// Total payload bytes injected.
+    pub bytes: u64,
+    /// Discrete events fired.
+    pub events: u64,
+    /// Message trace, when [`ExecConfig::record_trace`] was set.
+    pub trace: Vec<MessageTrace>,
+    /// Per-link busy times (hottest first), when
+    /// [`ExecConfig::record_trace`] was set: the link-load distribution
+    /// for hotspot analysis.
+    pub link_loads: Vec<(usize, SimDuration)>,
+}
+
+impl ExecOutcome {
+    /// The instant the last rank finished the final segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has no segments (cannot happen via the
+    /// public API, which rejects empty sequences).
+    pub fn completed(&self) -> SimTime {
+        *self
+            .finish
+            .last()
+            .expect("at least one segment")
+            .iter()
+            .max()
+            .expect("at least one rank")
+    }
+
+    /// Elapsed span of segment `seg` on rank `r`: from that rank's finish
+    /// of the previous segment (or its start) to its finish of `seg`.
+    pub fn rank_segment_time(&self, seg: usize, r: usize) -> SimDuration {
+        let end = self.finish[seg][r];
+        let begin = if seg == 0 {
+            self.start[r]
+        } else {
+            self.finish[seg - 1][r]
+        };
+        end.since(begin)
+    }
+}
+
+/// One item of a rank's execution tape.
+#[derive(Debug, Clone, Copy)]
+enum Tape {
+    /// Charge the collective-entry overhead for `class`.
+    Entry(OpClass),
+    /// Execute a schedule step under `class` costs.
+    Op(Step, OpClass),
+    /// Record the finish timestamp of segment `idx`.
+    SegEnd(usize),
+}
+
+struct RankState {
+    tape: Vec<Tape>,
+    pc: usize,
+    blocked_on: Option<usize>,
+    mailbox: HashMap<usize, VecDeque<SimTime>>,
+    /// CPU slowdown factor (1.0 = quiet node).
+    slowdown: f64,
+    /// Physical node this rank runs on.
+    node: NodeId,
+}
+
+#[derive(Default)]
+struct HwBarrierState {
+    waiting: Vec<usize>,
+}
+
+struct World {
+    spec: MachineSpec,
+    net: NetState,
+    ranks: Vec<RankState>,
+    barrier: HwBarrierState,
+    finish: Vec<Vec<SimTime>>,
+    trace: Option<Vec<MessageTrace>>,
+}
+
+/// Executes `segments` back to back on a fresh network state.
+///
+/// # Errors
+///
+/// Returns [`SimMpiError`] if a schedule fails validation, rank counts
+/// disagree across segments, or the start-time vector has the wrong
+/// length.
+///
+/// # Panics
+///
+/// Panics if the engine's runaway-event backstop trips (indicates an
+/// executor bug, not user error).
+pub fn execute(
+    spec: &MachineSpec,
+    segments: &[&Schedule],
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome, SimMpiError> {
+    let Some(first) = segments.first() else {
+        return Err(SimMpiError::EmptySequence);
+    };
+    let p = first.ranks();
+    // Validate each *distinct* schedule once: measurement sequences repeat
+    // the same collective 20+ times, and re-walking its steps per segment
+    // would dominate small runs.
+    let mut checked: Vec<*const Schedule> = Vec::new();
+    for seg in segments {
+        if seg.ranks() != p {
+            return Err(SimMpiError::SizeMismatch {
+                schedule: seg.ranks(),
+                communicator: p,
+            });
+        }
+        let key: *const Schedule = *seg;
+        if !cfg.skip_validation && !checked.contains(&key) {
+            seg.check()?;
+            checked.push(key);
+        }
+    }
+    let start = match &cfg.start_times {
+        Some(v) => {
+            if v.len() != p {
+                return Err(SimMpiError::BadStartTimes {
+                    got: v.len(),
+                    expected: p,
+                });
+            }
+            v.clone()
+        }
+        None => vec![SimTime::ZERO; p],
+    };
+
+    let (node_table, machine_nodes) = match &cfg.group {
+        Some((explicit, machine_nodes)) => {
+            if explicit.ranks() != p {
+                return Err(SimMpiError::SizeMismatch {
+                    schedule: p,
+                    communicator: explicit.ranks(),
+                });
+            }
+            (explicit.table().to_vec(), *machine_nodes)
+        }
+        None => (
+            cfg.placement.table(p).map_err(SimMpiError::InvalidSpec)?,
+            p,
+        ),
+    };
+    let mut noise_rng = cfg.cpu_noise.map(|n| (n.amplitude, SplitMix64::new(n.seed)));
+
+    // Build per-rank tapes: entry marker + steps per segment, then the
+    // segment-end timestamp marker.
+    let mut ranks: Vec<RankState> = (0..p)
+        .map(|r| RankState {
+            tape: Vec::new(),
+            pc: 0,
+            blocked_on: None,
+            mailbox: HashMap::new(),
+            slowdown: match &mut noise_rng {
+                Some((amp, rng)) => 1.0 + *amp * rng.next_f64(),
+                None => 1.0,
+            },
+            node: node_table[r],
+        })
+        .collect();
+    for (si, seg) in segments.iter().enumerate() {
+        for (rank, prog) in seg.iter() {
+            let tape = &mut ranks[rank.0].tape;
+            tape.push(Tape::Entry(seg.class()));
+            tape.extend(prog.iter().map(|&st| Tape::Op(st, seg.class())));
+            tape.push(Tape::SegEnd(si));
+        }
+    }
+
+    let mut world = World {
+        spec: spec.clone(),
+        net: NetState::with_config(spec, machine_nodes, cfg.wire),
+        ranks,
+        barrier: HwBarrierState::default(),
+        finish: vec![vec![SimTime::ZERO; p]; segments.len()],
+        trace: cfg.record_trace.then(Vec::new),
+    };
+    let mut engine: Engine<World> = Engine::new();
+    for (r, &t) in start.iter().enumerate() {
+        engine.schedule_at(t, advance_event(r));
+    }
+    engine.run(&mut world);
+
+    // Every rank must have drained its tape; anything else is a deadlock
+    // that validation should have caught.
+    for (r, rs) in world.ranks.iter().enumerate() {
+        assert!(
+            rs.pc == rs.tape.len(),
+            "rank {r} stalled at tape position {}/{} — executor invariant broken",
+            rs.pc,
+            rs.tape.len()
+        );
+    }
+
+    let link_loads = if cfg.record_trace {
+        world
+            .net
+            .link_loads()
+            .into_iter()
+            .map(|(id, busy)| (id.0, busy))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(ExecOutcome {
+        start,
+        finish: world.finish,
+        messages: world.net.messages_sent(),
+        bytes: world.net.bytes_sent(),
+        events: engine.events_fired(),
+        trace: world.trace.unwrap_or_default(),
+        link_loads,
+    })
+}
+
+fn advance_event(r: usize) -> desim::EventFn<World> {
+    Box::new(move |s, w| advance(s, w, r))
+}
+
+/// Scales a CPU-side duration by the rank's interference slowdown.
+fn cpu_charge(w: &World, r: usize, d: SimDuration) -> SimDuration {
+    let f = w.ranks[r].slowdown;
+    if f == 1.0 {
+        d
+    } else {
+        SimDuration::from_nanos_f64(d.as_nanos() as f64 * f)
+    }
+}
+
+/// Advances rank `r`'s tape at the current instant until it blocks,
+/// schedules a continuation, or finishes.
+fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
+    let now = s.now();
+    loop {
+        let Some(&item) = w.ranks[r].tape.get(w.ranks[r].pc) else {
+            return; // tape complete
+        };
+        match item {
+            Tape::SegEnd(idx) => {
+                w.finish[idx][r] = now;
+                w.ranks[r].pc += 1;
+            }
+            Tape::Entry(class) => {
+                w.ranks[r].pc += 1;
+                let d = cpu_charge(w, r, w.spec.entry_overhead(class));
+                if !d.is_zero() {
+                    s.schedule_in(d, advance_event(r));
+                    return;
+                }
+            }
+            Tape::Op(step, class) => match step {
+                Step::Send { to, bytes } => {
+                    w.ranks[r].pc += 1;
+                    let o = cpu_charge(w, r, w.spec.send_overhead(class));
+                    // Perform the network send at exactly now + o so that
+                    // link resources are acquired in true time order.
+                    s.schedule_in(
+                        o,
+                        Box::new(move |s, w| {
+                            let src_node = w.ranks[r].node;
+                            let dst_node = w.ranks[to.0].node;
+                            let World { spec, net, .. } = w;
+                            let t = net.send(
+                                spec,
+                                class,
+                                src_node,
+                                dst_node,
+                                bytes,
+                                s.now(),
+                            );
+                            if let Some(trace) = &mut w.trace {
+                                trace.push(MessageTrace {
+                                    src: r,
+                                    dst: to.0,
+                                    bytes,
+                                    class,
+                                    posted: s.now(),
+                                    delivered: t.delivered,
+                                });
+                            }
+                            s.schedule_at(
+                                t.delivered,
+                                Box::new(move |s, w| deliver(s, w, r, to.0)),
+                            );
+                            s.schedule_at(t.cpu_release, advance_event(r));
+                        }),
+                    );
+                    return;
+                }
+                Step::Recv { from, bytes } => {
+                    let queued = w.ranks[r]
+                        .mailbox
+                        .get_mut(&from.0)
+                        .and_then(VecDeque::pop_front);
+                    match queued {
+                        Some(arrived) => {
+                            w.ranks[r].pc += 1;
+                            let o = cpu_charge(w, r, w.spec.recv_overhead(class, bytes));
+                            s.schedule_at(now.max(arrived) + o, advance_event(r));
+                        }
+                        None => {
+                            w.ranks[r].blocked_on = Some(from.0);
+                        }
+                    }
+                    return;
+                }
+                Step::Compute { bytes } => {
+                    w.ranks[r].pc += 1;
+                    let d = cpu_charge(w, r, w.spec.compute_cost(bytes));
+                    if !d.is_zero() {
+                        s.schedule_in(d, advance_event(r));
+                        return;
+                    }
+                }
+                Step::HwBarrier => {
+                    w.ranks[r].pc += 1;
+                    w.barrier.waiting.push(r);
+                    if w.barrier.waiting.len() == w.ranks.len() {
+                        let latency = w
+                            .spec
+                            .hw_barrier
+                            .map(|hb| {
+                                SimDuration::from_micros_f64(
+                                    hb.latency_us(w.ranks.len()),
+                                )
+                            })
+                            .unwrap_or(SimDuration::ZERO);
+                        let release = now + latency;
+                        for waiter in std::mem::take(&mut w.barrier.waiting) {
+                            s.schedule_at(release, advance_event(waiter));
+                        }
+                    }
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// Handles a payload arrival at `dst` from `src` at the current instant.
+fn deliver(s: &mut Scheduler<World>, w: &mut World, src: usize, dst: usize) {
+    let now = s.now();
+    w.ranks[dst]
+        .mailbox
+        .entry(src)
+        .or_default()
+        .push_back(now);
+    if w.ranks[dst].blocked_on == Some(src) {
+        w.ranks[dst].blocked_on = None;
+        advance(s, w, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::{barrier, bcast, scatter, Rank};
+    use netmodel::{sp2, t3d};
+
+    fn run(spec: &MachineSpec, s: &Schedule) -> ExecOutcome {
+        execute(spec, &[s], &ExecConfig::default()).expect("execution")
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let e = execute(&sp2(), &[], &ExecConfig::default()).unwrap_err();
+        assert_eq!(e, SimMpiError::EmptySequence);
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), Step::Recv { from: Rank(1), bytes: 4 });
+        let e = execute(&sp2(), &[&s], &ExecConfig::default()).unwrap_err();
+        assert!(matches!(e, SimMpiError::BadSchedule(_)));
+    }
+
+    #[test]
+    fn bcast_executes_and_orders_ranks() {
+        let spec = sp2();
+        let s = bcast::binomial(8, Rank(0), 1024);
+        let out = run(&spec, &s);
+        // Root finishes its sends before the deepest leaf gets the data.
+        assert!(out.finish[0][0] < out.finish[0][7]);
+        assert_eq!(out.messages, 7);
+        assert_eq!(out.bytes, 7 * 1024);
+        assert!(out.completed() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deeper_trees_take_longer() {
+        let spec = sp2();
+        let t8 = run(&spec, &bcast::binomial(8, Rank(0), 1024)).completed();
+        let t64 = run(&spec, &bcast::binomial(64, Rank(0), 1024)).completed();
+        assert!(t64 > t8);
+    }
+
+    #[test]
+    fn hw_barrier_releases_all_at_once() {
+        let spec = t3d();
+        let s = barrier::hardware(16);
+        let skew: Vec<SimTime> = (0..16)
+            .map(|i| SimTime::from_nanos(i as u64 * 500))
+            .collect();
+        let out = execute(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                start_times: Some(skew),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let finishes = &out.finish[0];
+        let first = finishes[0];
+        assert!(finishes.iter().all(|&f| f == first), "single release time");
+        // Release = last arrival (7.5us) + ~3us hardware latency.
+        let expect_us = 7.5 + 3.0 + 0.011 * 4.0;
+        assert!((first.as_micros_f64() - expect_us).abs() < 0.1);
+    }
+
+    #[test]
+    fn hw_barrier_without_hardware_is_instant_sync() {
+        let spec = sp2(); // no hw barrier: latency 0, still synchronizes
+        let s = barrier::hardware(4);
+        let out = run(&spec, &s);
+        let f = &out.finish[0];
+        assert!(f.iter().all(|&t| t == f[0]));
+    }
+
+    #[test]
+    fn sequence_segments_flow_without_sync() {
+        let spec = sp2();
+        let b = barrier::dissemination(4);
+        let c = bcast::binomial(4, Rank(0), 64);
+        let out = execute(&spec, &[&b, &c, &c], &ExecConfig::default()).unwrap();
+        assert_eq!(out.finish.len(), 3);
+        for r in 0..4 {
+            assert!(out.finish[0][r] <= out.finish[1][r]);
+            assert!(out.finish[1][r] <= out.finish[2][r]);
+            assert!(out.rank_segment_time(1, r) > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn start_time_length_checked() {
+        let spec = sp2();
+        let s = bcast::binomial(4, Rank(0), 64);
+        let e = execute(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                start_times: Some(vec![SimTime::ZERO; 3]),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, SimMpiError::BadStartTimes { got: 3, expected: 4 }));
+    }
+
+    #[test]
+    fn mismatched_segment_sizes_rejected() {
+        let spec = sp2();
+        let a = bcast::binomial(4, Rank(0), 64);
+        let b = bcast::binomial(8, Rank(0), 64);
+        let e = execute(&spec, &[&a, &b], &ExecConfig::default()).unwrap_err();
+        assert!(matches!(e, SimMpiError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn scatter_root_serializes_sends() {
+        // Root-side O(p) behaviour: doubling p roughly doubles the
+        // scatter time for fixed m.
+        let spec = sp2();
+        let t16 = run(&spec, &scatter::linear(16, Rank(0), 4096)).completed();
+        let t32 = run(&spec, &scatter::linear(32, Rank(0), 4096)).completed();
+        let ratio = t32.as_micros_f64() / t16.as_micros_f64();
+        assert!((1.5..=2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = t3d();
+        let s = collectives::alltoall::pairwise(16, 2048);
+        let a = run(&spec, &s);
+        let b = run(&spec, &s);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn skew_delays_completion() {
+        let spec = sp2();
+        let s = bcast::binomial(4, Rank(0), 64);
+        let base = run(&spec, &s).completed();
+        let skewed = execute(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                start_times: Some(vec![
+                    SimTime::from_micros(100),
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                ]),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .completed();
+        assert!(skewed >= base + SimDuration::from_micros(90));
+    }
+}

@@ -1,0 +1,172 @@
+//! Rank-to-node placement.
+//!
+//! §9 of the paper lists "the runtime node allocation affects the
+//! implementation of a collective communication pattern" among its
+//! accuracy factors: the scheduler rarely hands out physically
+//! contiguous nodes, so rank *r* does not sit on node *r*, and the
+//! collective's embedding into the topology changes. [`Placement`]
+//! models that mapping; the executor routes every message through it.
+
+use desim::SplitMix64;
+use topo::NodeId;
+
+/// How ranks map onto physical nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Rank `r` on node `r` — a perfectly contiguous allocation (the
+    /// default, and the best case).
+    #[default]
+    Contiguous,
+    /// A deterministic pseudo-random permutation drawn from the seed —
+    /// the fragmented allocation a busy scheduler produces.
+    Scattered {
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// Ranks placed with a fixed stride (`node = (r · stride) mod p`,
+    /// valid when `gcd(stride, p) == 1`); models round-robin allocation
+    /// across cabinets.
+    Strided {
+        /// The stride.
+        stride: usize,
+    },
+}
+
+/// An explicit rank→node map onto a (possibly larger) machine partition
+/// — the mechanism behind subgroup communicators.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExplicitPlacement {
+    nodes: Vec<NodeId>,
+}
+
+impl ExplicitPlacement {
+    /// Builds an explicit placement of `ranks.len()` ranks onto the named
+    /// nodes of a `machine_nodes`-node partition.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate nodes and nodes outside `0..machine_nodes`.
+    pub fn new(nodes: Vec<usize>, machine_nodes: usize) -> Result<Self, String> {
+        let mut seen = vec![false; machine_nodes];
+        for &n in &nodes {
+            if n >= machine_nodes {
+                return Err(format!("node {n} outside 0..{machine_nodes}"));
+            }
+            if seen[n] {
+                return Err(format!("node {n} assigned twice"));
+            }
+            seen[n] = true;
+        }
+        Ok(ExplicitPlacement {
+            nodes: nodes.into_iter().map(NodeId).collect(),
+        })
+    }
+
+    /// Number of ranks placed.
+    pub fn ranks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The rank→node table.
+    pub fn table(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl Placement {
+    /// Materializes the rank→node table for a `p`-node partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the placement cannot produce a bijection
+    /// (strided placement with `gcd(stride, p) != 1`).
+    pub fn table(&self, p: usize) -> Result<Vec<NodeId>, String> {
+        match *self {
+            Placement::Contiguous => Ok((0..p).map(NodeId).collect()),
+            Placement::Scattered { seed } => {
+                let mut table: Vec<NodeId> = (0..p).map(NodeId).collect();
+                let mut rng = SplitMix64::new(seed);
+                // Fisher–Yates.
+                for i in (1..p).rev() {
+                    let j = rng.next_below(i as u64 + 1) as usize;
+                    table.swap(i, j);
+                }
+                Ok(table)
+            }
+            Placement::Strided { stride } => {
+                if p == 0 {
+                    return Ok(Vec::new());
+                }
+                if gcd(stride % p.max(1), p) != 1 && p > 1 {
+                    return Err(format!(
+                        "stride {stride} is not coprime with {p}: not a bijection"
+                    ));
+                }
+                Ok((0..p).map(|r| NodeId((r * stride) % p)).collect())
+            }
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_bijection(table: &[NodeId]) -> bool {
+        let mut seen = vec![false; table.len()];
+        for n in table {
+            if n.0 >= table.len() || seen[n.0] {
+                return false;
+            }
+            seen[n.0] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn contiguous_is_identity() {
+        let t = Placement::Contiguous.table(8).unwrap();
+        assert_eq!(t, (0..8).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scattered_is_bijective_and_seeded() {
+        for p in [1usize, 2, 7, 64] {
+            let t = Placement::Scattered { seed: 42 }.table(p).unwrap();
+            assert!(is_bijection(&t), "p={p}");
+        }
+        let a = Placement::Scattered { seed: 1 }.table(64).unwrap();
+        let b = Placement::Scattered { seed: 1 }.table(64).unwrap();
+        let c = Placement::Scattered { seed: 2 }.table(64).unwrap();
+        assert_eq!(a, b, "deterministic");
+        assert_ne!(a, c, "seed-dependent");
+        assert_ne!(a, Placement::Contiguous.table(64).unwrap());
+    }
+
+    #[test]
+    fn explicit_placement_validation() {
+        let p = ExplicitPlacement::new(vec![3, 1, 5], 8).unwrap();
+        assert_eq!(p.ranks(), 3);
+        assert_eq!(p.table()[0], NodeId(3));
+        assert!(ExplicitPlacement::new(vec![1, 1], 8).is_err(), "dup");
+        assert!(ExplicitPlacement::new(vec![9], 8).is_err(), "range");
+        assert_eq!(ExplicitPlacement::new(vec![], 4).unwrap().ranks(), 0);
+    }
+
+    #[test]
+    fn strided_requires_coprimality() {
+        let t = Placement::Strided { stride: 3 }.table(8).unwrap();
+        assert!(is_bijection(&t));
+        assert_eq!(t[1], NodeId(3));
+        assert!(Placement::Strided { stride: 2 }.table(8).is_err());
+        assert!(Placement::Strided { stride: 5 }.table(1).is_ok());
+    }
+}

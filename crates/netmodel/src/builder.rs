@@ -1,0 +1,259 @@
+//! Builder for custom machine specifications.
+//!
+//! The three calibrated machines cover the paper; [`MachineBuilder`]
+//! lets downstream users model other systems — workstation clusters,
+//! hypothetical upgrades, what-if variants — without hand-assembling a
+//! [`MachineSpec`]. Unset knobs default to a plain CPU-driven machine on
+//! an ideal crossbar.
+
+use crate::class::{ClassCosts, CostTable, OpClass};
+use crate::spec::{HwBarrierSpec, MachineSpec, SendEngine, TopologyKind};
+
+/// A non-consuming builder for [`MachineSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use netmodel::MachineBuilder;
+///
+/// // A 10-node Ethernet workstation cluster, roughly 1995 vintage.
+/// let spec = MachineBuilder::new("NOW cluster")
+///     .crossbar()
+///     .link_bandwidth_mb_s(1.25)     // 10 Mb/s shared Ethernet
+///     .hop_ns(5_000.0)
+///     .uniform_overheads_us(400.0, 400.0) // TCP/IP stack
+///     .uniform_byte_costs_ns(50.0, 50.0)
+///     .max_nodes(32)
+///     .build()
+///     .expect("valid spec");
+/// assert_eq!(spec.link_bandwidth_mb_s(), 1.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: &'static str,
+    topology: TopologyKind,
+    hop_ns: f64,
+    link_ns_per_byte: f64,
+    min_packet_bytes: u32,
+    costs: CostTable,
+    compute_ns_per_byte: f64,
+    send_engine: SendEngine,
+    hw_barrier: Option<HwBarrierSpec>,
+    max_nodes: usize,
+}
+
+impl MachineBuilder {
+    /// Starts a builder with neutral defaults: ideal crossbar, 100 MB/s
+    /// links, 1 µs hops, zero software costs, CPU send engine, 128-node
+    /// maximum.
+    pub fn new(name: &'static str) -> Self {
+        MachineBuilder {
+            name,
+            topology: TopologyKind::Crossbar,
+            hop_ns: 1_000.0,
+            link_ns_per_byte: 10.0,
+            min_packet_bytes: 32,
+            costs: CostTable::uniform(ClassCosts::FREE),
+            compute_ns_per_byte: 10.0,
+            send_engine: SendEngine::Cpu,
+            hw_barrier: None,
+            max_nodes: 128,
+        }
+    }
+
+    /// Uses a 3-D torus interconnect.
+    pub fn torus3d(&mut self) -> &mut Self {
+        self.topology = TopologyKind::Torus3d;
+        self
+    }
+
+    /// Uses a 2-D mesh interconnect.
+    pub fn mesh2d(&mut self) -> &mut Self {
+        self.topology = TopologyKind::Mesh2d;
+        self
+    }
+
+    /// Uses a multistage Omega network with the given switch radix.
+    pub fn omega(&mut self, radix: usize) -> &mut Self {
+        self.topology = TopologyKind::Omega { radix };
+        self
+    }
+
+    /// Uses an ideal crossbar (default).
+    pub fn crossbar(&mut self) -> &mut Self {
+        self.topology = TopologyKind::Crossbar;
+        self
+    }
+
+    /// Uses a binary hypercube.
+    pub fn hypercube(&mut self) -> &mut Self {
+        self.topology = TopologyKind::Hypercube;
+        self
+    }
+
+    /// Sets the per-hop router latency in nanoseconds.
+    pub fn hop_ns(&mut self, ns: f64) -> &mut Self {
+        self.hop_ns = ns;
+        self
+    }
+
+    /// Sets the link bandwidth in MB/s.
+    pub fn link_bandwidth_mb_s(&mut self, mb_s: f64) -> &mut Self {
+        self.link_ns_per_byte = if mb_s > 0.0 { 1_000.0 / mb_s } else { -1.0 };
+        self
+    }
+
+    /// Sets the smallest wire-occupying unit in bytes.
+    pub fn min_packet_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.min_packet_bytes = bytes;
+        self
+    }
+
+    /// Sets identical per-message overheads (send, receive; µs) for all
+    /// operation classes.
+    pub fn uniform_overheads_us(&mut self, o_send: f64, o_recv: f64) -> &mut Self {
+        self.for_each_class(|c| {
+            c.o_send_us = o_send;
+            c.o_recv_us = o_recv;
+        });
+        self
+    }
+
+    /// Sets identical per-byte software costs (send, receive; ns/B) for
+    /// all operation classes.
+    pub fn uniform_byte_costs_ns(&mut self, send: f64, recv: f64) -> &mut Self {
+        self.for_each_class(|c| {
+            c.byte_send_ns = send;
+            c.byte_recv_ns = recv;
+        });
+        self
+    }
+
+    /// Overrides the costs of one operation class.
+    pub fn class_costs(&mut self, class: OpClass, costs: ClassCosts) -> &mut Self {
+        self.costs = self.costs.clone().with(class, costs);
+        self
+    }
+
+    /// Sets the reduction arithmetic cost in ns per operand byte.
+    pub fn compute_ns_per_byte(&mut self, ns: f64) -> &mut Self {
+        self.compute_ns_per_byte = ns;
+        self
+    }
+
+    /// Sets the send engine.
+    pub fn send_engine(&mut self, engine: SendEngine) -> &mut Self {
+        self.send_engine = engine;
+        self
+    }
+
+    /// Adds a hardware barrier network.
+    pub fn hw_barrier(&mut self, base_us: f64, per_level_us: f64) -> &mut Self {
+        self.hw_barrier = Some(HwBarrierSpec {
+            base_us,
+            per_level_us,
+        });
+        self
+    }
+
+    /// Sets the largest supported partition.
+    pub fn max_nodes(&mut self, n: usize) -> &mut Self {
+        self.max_nodes = n;
+        self
+    }
+
+    fn for_each_class(&mut self, mut f: impl FnMut(&mut ClassCosts)) {
+        let classes = OpClass::COLLECTIVES
+            .into_iter()
+            .chain([OpClass::PointToPoint]);
+        for class in classes {
+            let mut c = *self.costs.get(class);
+            f(&mut c);
+            self.costs = self.costs.clone().with(class, c);
+        }
+    }
+
+    /// Builds and validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for non-physical parameter
+    /// combinations.
+    pub fn build(&self) -> Result<MachineSpec, String> {
+        let spec = MachineSpec {
+            name: self.name,
+            topology: self.topology,
+            hop_ns: self.hop_ns,
+            link_ns_per_byte: self.link_ns_per_byte,
+            min_packet_bytes: self.min_packet_bytes,
+            costs: self.costs.clone(),
+            compute_ns_per_byte: self.compute_ns_per_byte,
+            send_engine: self.send_engine,
+            hw_barrier: self.hw_barrier,
+            max_nodes: self.max_nodes,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let spec = MachineBuilder::new("default").build().unwrap();
+        assert_eq!(spec.topology, TopologyKind::Crossbar);
+        assert_eq!(spec.link_bandwidth_mb_s(), 100.0);
+        assert!(spec.hw_barrier.is_none());
+    }
+
+    #[test]
+    fn chained_configuration() {
+        let spec = MachineBuilder::new("custom")
+            .torus3d()
+            .hop_ns(20.0)
+            .link_bandwidth_mb_s(300.0)
+            .uniform_overheads_us(10.0, 12.0)
+            .uniform_byte_costs_ns(3.0, 4.0)
+            .compute_ns_per_byte(15.0)
+            .hw_barrier(3.0, 0.011)
+            .max_nodes(64)
+            .build()
+            .unwrap();
+        assert_eq!(spec.topology, TopologyKind::Torus3d);
+        assert!((spec.link_bandwidth_mb_s() - 300.0).abs() < 1e-9);
+        assert_eq!(spec.costs.get(OpClass::Scan).o_send_us, 10.0);
+        assert_eq!(spec.costs.get(OpClass::Gather).byte_recv_ns, 4.0);
+        assert!(spec.hw_barrier.is_some());
+        assert_eq!(spec.max_nodes, 64);
+    }
+
+    #[test]
+    fn per_class_override_after_uniform() {
+        let spec = MachineBuilder::new("x")
+            .uniform_overheads_us(10.0, 10.0)
+            .class_costs(
+                OpClass::Alltoall,
+                ClassCosts {
+                    o_send_us: 99.0,
+                    ..ClassCosts::FREE
+                },
+            )
+            .build()
+            .unwrap();
+        assert_eq!(spec.costs.get(OpClass::Alltoall).o_send_us, 99.0);
+        assert_eq!(spec.costs.get(OpClass::Bcast).o_send_us, 10.0);
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        let err = MachineBuilder::new("bad")
+            .link_bandwidth_mb_s(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("link_ns_per_byte"), "{err}");
+        assert!(MachineBuilder::new("bad2").max_nodes(0).build().is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Operation classes and per-class software cost tables.
+//!
+//! The paper attributes large per-machine differences to the *software*
+//! path of each collective in the vendor MPI library (e.g. the Paragon's
+//! NX kernel messaging makes its alltoall/gather startup 4–15× worse than
+//! the other machines, §7). We therefore keep a per-`(machine, class)`
+//! table of software overheads, calibrated against the paper's Table 3;
+//! the hardware path (links, hops, contention, DMA engines) is simulated
+//! physically in [`crate::net`].
+
+use core::fmt;
+
+/// The class of communication operation a message belongs to.
+///
+/// MPI implementations of the era ran different kernel code paths per
+/// collective, so software overheads are class-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Barrier synchronization.
+    Barrier,
+    /// One-to-all broadcast.
+    Bcast,
+    /// All-to-one gather.
+    Gather,
+    /// One-to-all scatter (distinct payload per destination).
+    Scatter,
+    /// All-to-one reduction.
+    Reduce,
+    /// Parallel prefix (MPI_Scan).
+    Scan,
+    /// Total exchange (MPI_Alltoall).
+    Alltoall,
+    /// Plain point-to-point traffic.
+    PointToPoint,
+}
+
+impl OpClass {
+    /// All collective classes, in the paper's presentation order.
+    pub const COLLECTIVES: [OpClass; 7] = [
+        OpClass::Bcast,
+        OpClass::Alltoall,
+        OpClass::Scatter,
+        OpClass::Gather,
+        OpClass::Scan,
+        OpClass::Reduce,
+        OpClass::Barrier,
+    ];
+
+    /// The paper's name for the operation.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            OpClass::Barrier => "Barrier",
+            OpClass::Bcast => "Broadcast",
+            OpClass::Gather => "Gather",
+            OpClass::Scatter => "Scatter",
+            OpClass::Reduce => "Reduce",
+            OpClass::Scan => "Scan",
+            OpClass::Alltoall => "Total Exchange",
+            OpClass::PointToPoint => "Point-to-Point",
+        }
+    }
+
+    /// Aggregated message volume `f(m, p)` of the operation (§3): the sum
+    /// of all bytes moved between node pairs when each pairwise message is
+    /// `m` bytes and `p` nodes participate.
+    ///
+    /// `m(p-1)` for the one-to-all / all-to-one operations and scan;
+    /// `m·p(p-1)` for total exchange; 0 for barrier and point-to-point
+    /// (the paper leaves them out of the bandwidth metric).
+    pub fn aggregated_bytes(self, m: u64, p: u64) -> u64 {
+        match self {
+            OpClass::Bcast
+            | OpClass::Gather
+            | OpClass::Scatter
+            | OpClass::Reduce
+            | OpClass::Scan => m * (p.saturating_sub(1)),
+            OpClass::Alltoall => m * p * (p.saturating_sub(1)),
+            OpClass::Barrier | OpClass::PointToPoint => 0,
+        }
+    }
+
+    /// The MPI function name (Table 1).
+    pub fn mpi_function(self) -> &'static str {
+        match self {
+            OpClass::Barrier => "MPI_Barrier",
+            OpClass::Bcast => "MPI_Bcast",
+            OpClass::Gather => "MPI_Gather",
+            OpClass::Scatter => "MPI_Scatter",
+            OpClass::Reduce => "MPI_Reduce",
+            OpClass::Scan => "MPI_Scan",
+            OpClass::Alltoall => "MPI_Alltoall",
+            OpClass::PointToPoint => "MPI_Send/MPI_Recv",
+        }
+    }
+
+    /// The paper's Table 1 function description.
+    pub fn table1_description(self) -> &'static str {
+        match self {
+            OpClass::Barrier => "Blocks until all processes have reached this routine.",
+            OpClass::Bcast => "Broadcasts a message to all processes in the same group.",
+            OpClass::Gather => "Gathers distinct messages from each task in the group.",
+            OpClass::Scatter => "Sends data from one task to all other tasks in a group.",
+            OpClass::Reduce => "Reduces values on all processes to a single value.",
+            OpClass::Scan => "Computes a parallel prefix over the collection of processes.",
+            OpClass::Alltoall => "Sends data from all to all processes.",
+            OpClass::PointToPoint => "Standard blocking point-to-point transfer.",
+        }
+    }
+
+    /// Whether the paper observed O(log p) startup growth for this class
+    /// (tree-structured) rather than O(p) (root- or round-serialized).
+    pub fn startup_is_logarithmic(self) -> bool {
+        matches!(
+            self,
+            OpClass::Barrier | OpClass::Bcast | OpClass::Reduce | OpClass::Scan
+        )
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Software costs of one operation class on one machine.
+///
+/// All values are *software path* costs; wire time, hop latency, link
+/// contention, and DMA engine occupancy are simulated separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassCosts {
+    /// One-time cost per rank for entering the collective (argument
+    /// checking, buffer setup), microseconds.
+    pub entry_us: f64,
+    /// Per-message send-side CPU overhead, microseconds.
+    pub o_send_us: f64,
+    /// Per-message receive-side CPU overhead, microseconds.
+    pub o_recv_us: f64,
+    /// Send-path software copy cost, nanoseconds per byte.
+    pub byte_send_ns: f64,
+    /// Receive-path software copy cost, nanoseconds per byte.
+    pub byte_recv_ns: f64,
+    /// Whether this class's sends may use the machine's offload engine
+    /// (co-processor / block-transfer engine). Vendor libraries did not
+    /// route every collective through DMA — e.g. scatter's per-block
+    /// copies stayed on the CPU.
+    pub offload: bool,
+}
+
+impl ClassCosts {
+    /// A zero-cost table (useful in tests to isolate wire physics).
+    pub const FREE: ClassCosts = ClassCosts {
+        entry_us: 0.0,
+        o_send_us: 0.0,
+        o_recv_us: 0.0,
+        byte_send_ns: 0.0,
+        byte_recv_ns: 0.0,
+        offload: true,
+    };
+
+    /// Validates that every field is finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("entry_us", self.entry_us),
+            ("o_send_us", self.o_send_us),
+            ("o_recv_us", self.o_recv_us),
+            ("byte_send_ns", self.byte_send_ns),
+            ("byte_recv_ns", self.byte_recv_ns),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-class cost table of a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    barrier: ClassCosts,
+    bcast: ClassCosts,
+    gather: ClassCosts,
+    scatter: ClassCosts,
+    reduce: ClassCosts,
+    scan: ClassCosts,
+    alltoall: ClassCosts,
+    p2p: ClassCosts,
+}
+
+impl CostTable {
+    /// Builds a table with the same costs for every class.
+    pub fn uniform(c: ClassCosts) -> Self {
+        CostTable {
+            barrier: c,
+            bcast: c,
+            gather: c,
+            scatter: c,
+            reduce: c,
+            scan: c,
+            alltoall: c,
+            p2p: c,
+        }
+    }
+
+    /// Replaces the costs of one class (builder style).
+    pub fn with(mut self, class: OpClass, c: ClassCosts) -> Self {
+        *self.slot(class) = c;
+        self
+    }
+
+    fn slot(&mut self, class: OpClass) -> &mut ClassCosts {
+        match class {
+            OpClass::Barrier => &mut self.barrier,
+            OpClass::Bcast => &mut self.bcast,
+            OpClass::Gather => &mut self.gather,
+            OpClass::Scatter => &mut self.scatter,
+            OpClass::Reduce => &mut self.reduce,
+            OpClass::Scan => &mut self.scan,
+            OpClass::Alltoall => &mut self.alltoall,
+            OpClass::PointToPoint => &mut self.p2p,
+        }
+    }
+
+    /// Costs for `class`.
+    pub fn get(&self, class: OpClass) -> &ClassCosts {
+        match class {
+            OpClass::Barrier => &self.barrier,
+            OpClass::Bcast => &self.bcast,
+            OpClass::Gather => &self.gather,
+            OpClass::Scatter => &self.scatter,
+            OpClass::Reduce => &self.reduce,
+            OpClass::Scan => &self.scan,
+            OpClass::Alltoall => &self.alltoall,
+            OpClass::PointToPoint => &self.p2p,
+        }
+    }
+
+    /// Validates every class entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for class in OpClass::COLLECTIVES
+            .into_iter()
+            .chain([OpClass::PointToPoint])
+        {
+            self.get(class)
+                .validate()
+                .map_err(|e| format!("{class}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregated_volume_matches_paper() {
+        // Broadcast over 64 nodes of 64 KB: f = m(p-1)
+        assert_eq!(
+            OpClass::Bcast.aggregated_bytes(65_536, 64),
+            65_536 * 63
+        );
+        // Total exchange over 64 nodes of 64 KB: f = m·p(p-1) = 256 MB-ish
+        let f = OpClass::Alltoall.aggregated_bytes(65_536, 64);
+        assert_eq!(f, 65_536 * 64 * 63);
+        assert!((f as f64 / 1e6 - 264.2).abs() < 0.1, "~264 MB: {f}");
+        assert_eq!(OpClass::Barrier.aggregated_bytes(1024, 64), 0);
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        for class in OpClass::COLLECTIVES {
+            assert_eq!(class.aggregated_bytes(100, 1), 0, "{class}");
+        }
+    }
+
+    #[test]
+    fn startup_growth_classification() {
+        assert!(OpClass::Bcast.startup_is_logarithmic());
+        assert!(OpClass::Barrier.startup_is_logarithmic());
+        assert!(!OpClass::Alltoall.startup_is_logarithmic());
+        assert!(!OpClass::Gather.startup_is_logarithmic());
+        assert!(!OpClass::Scatter.startup_is_logarithmic());
+    }
+
+    #[test]
+    fn table_with_overrides() {
+        let special = ClassCosts {
+            entry_us: 1.0,
+            ..ClassCosts::FREE
+        };
+        let t = CostTable::uniform(ClassCosts::FREE).with(OpClass::Scan, special);
+        assert_eq!(t.get(OpClass::Scan).entry_us, 1.0);
+        assert_eq!(t.get(OpClass::Bcast).entry_us, 0.0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_negative() {
+        let bad = ClassCosts {
+            o_send_us: -1.0,
+            ..ClassCosts::FREE
+        };
+        assert!(bad.validate().is_err());
+        let t = CostTable::uniform(ClassCosts::FREE).with(OpClass::Gather, bad);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("Gather"), "{err}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpClass::Alltoall.to_string(), "Total Exchange");
+        assert_eq!(OpClass::Bcast.to_string(), "Broadcast");
+    }
+
+    #[test]
+    fn table1_metadata_complete() {
+        for op in OpClass::COLLECTIVES.into_iter().chain([OpClass::PointToPoint]) {
+            assert!(op.mpi_function().starts_with("MPI_"), "{op}");
+            assert!(!op.table1_description().is_empty(), "{op}");
+        }
+        assert_eq!(OpClass::Alltoall.mpi_function(), "MPI_Alltoall");
+    }
+}

@@ -1,0 +1,613 @@
+//! The mutable network state and wire-time model.
+//!
+//! [`NetState`] owns the contention bookkeeping for one partition of one
+//! machine: a FIFO resource per unidirectional link plus a per-node
+//! injection engine (the CPU copy loop, the Paragon co-processor, or the
+//! T3D block-transfer engine, per [`SendEngine`]).
+//!
+//! # Wire model
+//!
+//! Wormhole routing is approximated in the standard way: a message's
+//! header walks the route paying one hop latency per link, the payload
+//! streams pipelined behind it at the bottleneck byte rate, and each link
+//! is *occupied* for the full serialization time from the moment the
+//! header claims it. Two messages wanting the same link therefore
+//! serialize — the contention the paper observes in the Paragon mesh and
+//! the SP2's blocking Omega stages.
+
+use crate::class::OpClass;
+use crate::spec::{MachineSpec, SendEngine};
+use desim::{FifoResource, ResourcePool, SimDuration, SimTime};
+use topo::{NodeId, Topology};
+
+/// Timing outcome of pushing one message into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendTiming {
+    /// When the sending CPU is free to continue (after any blocking copy
+    /// or engine setup; *excludes* the per-message `o_send` overhead,
+    /// which the executor charges before calling the network).
+    pub cpu_release: SimTime,
+    /// When the full payload has arrived at the destination node (before
+    /// receive-side software costs).
+    pub delivered: SimTime,
+}
+
+/// Ablation switches for the wire model (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Model per-link occupancy (off ⇒ infinite link bandwidth sharing).
+    pub link_contention: bool,
+    /// Serialize a node's outgoing messages through its injection engine
+    /// (off ⇒ a node can inject unlimited messages at once).
+    pub nic_serialization: bool,
+    /// Pipelined wormhole propagation (off ⇒ store-and-forward: the full
+    /// serialization time is paid on *every* hop).
+    pub wormhole: bool,
+    /// Packetization: when set, messages are carved into segments of at
+    /// most this many bytes, and link/injection occupancy is reserved
+    /// per segment instead of per message. Competing traffic then
+    /// interleaves at packet granularity (fairer sharing, more events).
+    /// `None` reserves whole messages — the default, which the
+    /// calibration uses.
+    pub segment_bytes: Option<u32>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            link_contention: true,
+            nic_serialization: true,
+            wormhole: true,
+            segment_bytes: None,
+        }
+    }
+}
+
+/// Mutable network state for one `p`-node partition of a machine.
+pub struct NetState {
+    topo: Box<dyn Topology>,
+    links: ResourcePool,
+    inject: Vec<FifoResource>,
+    config: WireConfig,
+    messages: u64,
+    bytes: u64,
+    /// Lazily filled per-pair route cache (routing is deterministic, and
+    /// measurement loops re-send along the same pairs thousands of
+    /// times). Indexed `src * nodes + dst`.
+    route_cache: Vec<Option<topo::Route>>,
+    /// Scratch buffer holding the current route's links, so the send hot
+    /// path does not re-borrow the cache while acquiring link resources.
+    scratch: Vec<topo::LinkId>,
+}
+
+impl std::fmt::Debug for NetState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetState")
+            .field("topology", &self.topo.describe())
+            .field("messages", &self.messages)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl NetState {
+    /// Builds the network state for a `p`-node partition of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `p` exceeds the machine's measured maximum
+    /// times four (a guard against accidental huge builds).
+    pub fn new(spec: &MachineSpec, p: usize) -> Self {
+        Self::with_config(spec, p, WireConfig::default())
+    }
+
+    /// Builds with explicit ablation switches.
+    pub fn with_config(spec: &MachineSpec, p: usize, config: WireConfig) -> Self {
+        assert!(p > 0, "partition must have at least one node");
+        assert!(
+            p <= spec.max_nodes * 4,
+            "partition of {p} nodes is far beyond {}'s {}-node maximum",
+            spec.name,
+            spec.max_nodes
+        );
+        let topo = spec.topology.build(p);
+        let links = ResourcePool::new(topo.links());
+        NetState {
+            links,
+            inject: vec![FifoResource::new(); p],
+            topo,
+            config,
+            messages: 0,
+            bytes: 0,
+            route_cache: vec![None; p * p],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Number of nodes in the partition.
+    pub fn nodes(&self) -> usize {
+        self.topo.nodes()
+    }
+
+    /// Messages sent through this state so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes sent through this state so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total busy time across all links (contention diagnostics).
+    pub fn total_link_busy(&self) -> SimDuration {
+        self.links.total_busy()
+    }
+
+    /// The busiest link and its accumulated busy time, or `None` when no
+    /// traffic has flowed.
+    pub fn hottest_link(&self) -> Option<(topo::LinkId, SimDuration)> {
+        self.links
+            .hottest()
+            .filter(|&(_, busy)| busy > SimDuration::ZERO)
+            .map(|(id, busy)| (topo::LinkId(id), busy))
+    }
+
+    /// Busy time of every link that carried traffic, sorted hottest
+    /// first: the link-load distribution of whatever ran on this state.
+    pub fn link_loads(&self) -> Vec<(topo::LinkId, SimDuration)> {
+        let mut loads: Vec<(topo::LinkId, SimDuration)> = (0..self.links.len())
+            .filter_map(|i| {
+                let busy = self.links.get(i).expect("in range").busy_time();
+                (busy > SimDuration::ZERO).then_some((topo::LinkId(i), busy))
+            })
+            .collect();
+        loads.sort_by_key(|&(_, busy)| std::cmp::Reverse(busy));
+        loads
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting at `start` (the instant
+    /// the sending CPU has finished its per-message overhead). Returns
+    /// when the CPU is released and when the payload is delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range.
+    pub fn send(
+        &mut self,
+        spec: &MachineSpec,
+        class: OpClass,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        start: SimTime,
+    ) -> SendTiming {
+        assert!(
+            src.0 < self.nodes() && dst.0 < self.nodes(),
+            "node out of range"
+        );
+        self.messages += 1;
+        self.bytes += u64::from(bytes);
+
+        let costs = spec.costs.get(class);
+        let copy = SimDuration::from_nanos_f64(f64::from(bytes) * costs.byte_send_ns);
+
+        // Send-engine behaviour: who pays the payload copy, and at what
+        // byte rate does the payload enter the wire. Classes whose sends
+        // stay on the CPU (offload = false) bypass the engine entirely.
+        let engine = if costs.offload {
+            spec.send_engine
+        } else {
+            SendEngine::Cpu
+        };
+        let (cpu_release, engine_ready, engine_ns_per_byte) = match engine {
+            SendEngine::Cpu => {
+                let ready = start + copy;
+                (ready, ready, costs.byte_send_ns)
+            }
+            SendEngine::Coprocessor { ns_per_byte } => {
+                // CPU posts a descriptor and is released immediately; the
+                // co-processor streams the payload.
+                (start, start, ns_per_byte)
+            }
+            SendEngine::BlockTransfer {
+                threshold_bytes,
+                setup_us,
+                ns_per_byte,
+            } => {
+                if bytes >= threshold_bytes {
+                    let ready = start + SimDuration::from_micros_f64(setup_us);
+                    (ready, ready, ns_per_byte)
+                } else {
+                    let ready = start + copy;
+                    (ready, ready, costs.byte_send_ns)
+                }
+            }
+        };
+
+        if src == dst {
+            // Local delivery: just the send-side copy; no wire.
+            return SendTiming {
+                cpu_release,
+                delivered: engine_ready,
+            };
+        }
+
+        // Wire traversal, optionally packetized: each segment reserves
+        // injection and link occupancy independently, so competing
+        // traffic interleaves at segment granularity. Routes are looked
+        // up through the per-pair cache (routing is deterministic and
+        // measurement loops re-send along the same pairs thousands of
+        // times); the link ids are copied into the scratch buffer so the
+        // loop below can borrow the resource pools mutably.
+        let stream_ns_per_byte = spec.link_ns_per_byte.max(engine_ns_per_byte);
+        let total_bytes = bytes.max(spec.min_packet_bytes);
+        let seg_size = self
+            .config
+            .segment_bytes
+            .map(|s| s.max(spec.min_packet_bytes))
+            .unwrap_or(total_bytes)
+            .min(total_bytes);
+        let cache_idx = src.0 * self.nodes() + dst.0;
+        if self.route_cache[cache_idx].is_none() {
+            self.route_cache[cache_idx] = Some(self.topo.route(src, dst));
+        }
+        self.scratch.clear();
+        let cached = self.route_cache[cache_idx].as_ref().expect("filled above");
+        self.scratch.extend_from_slice(cached.links());
+        let hop = SimDuration::from_nanos_f64(spec.hop_ns);
+
+        let mut remaining = total_bytes;
+        let mut segment_ready = engine_ready;
+        let mut delivered = engine_ready;
+        while remaining > 0 {
+            let chunk = remaining.min(seg_size);
+            remaining -= chunk;
+            let chunk_bytes = f64::from(chunk.max(spec.min_packet_bytes));
+            let serialize = SimDuration::from_nanos_f64(chunk_bytes * stream_ns_per_byte);
+            let inject_at = if self.config.nic_serialization {
+                self.inject[src.0].acquire(segment_ready, serialize).start
+            } else {
+                segment_ready
+            };
+            // The next segment may enter the NIC as soon as this one has
+            // streamed out of it.
+            segment_ready = inject_at + serialize;
+
+            // Header propagation with per-link occupancy. A link's
+            // occupancy is the serialization time divided by its relative
+            // capacity (fat topologies aggregate bandwidth upward).
+            let mut t_hdr = inject_at;
+            for li in 0..self.scratch.len() {
+                let link = self.scratch[li];
+                let capacity = self.topo.link_capacity(link).max(1.0);
+                let occupancy = if capacity > 1.0 {
+                    SimDuration::from_nanos_f64(chunk_bytes * stream_ns_per_byte / capacity)
+                } else {
+                    serialize
+                };
+                let at = if self.config.link_contention {
+                    self.links.acquire(link.0, t_hdr, occupancy).start
+                } else {
+                    t_hdr
+                };
+                t_hdr = at + hop;
+                if !self.config.wormhole {
+                    // Store-and-forward: full payload re-serialized per hop.
+                    t_hdr += serialize;
+                }
+            }
+            let seg_delivered = if self.config.wormhole {
+                t_hdr + serialize
+            } else {
+                t_hdr
+            };
+            delivered = delivered.max(seg_delivered);
+        }
+        SendTiming {
+            cpu_release,
+            delivered,
+        }
+    }
+}
+
+/// Software-cost helpers shared by the executor. These are thin wrappers
+/// over the calibrated [`CostTable`](crate::class::CostTable), kept here
+/// so the executor has a single vocabulary for all time charges.
+impl MachineSpec {
+    /// One-time per-rank cost of entering a collective.
+    pub fn entry_overhead(&self, class: OpClass) -> SimDuration {
+        SimDuration::from_micros_f64(self.costs.get(class).entry_us)
+    }
+
+    /// Per-message send-side CPU overhead (descriptor, matching, kernel
+    /// trap) — excludes the payload copy, which the network model charges.
+    pub fn send_overhead(&self, class: OpClass) -> SimDuration {
+        SimDuration::from_micros_f64(self.costs.get(class).o_send_us)
+    }
+
+    /// Per-message receive-side cost: fixed overhead plus the receive
+    /// copy of `bytes`.
+    pub fn recv_overhead(&self, class: OpClass, bytes: u32) -> SimDuration {
+        let c = self.costs.get(class);
+        SimDuration::from_micros_f64(c.o_recv_us)
+            + SimDuration::from_nanos_f64(f64::from(bytes) * c.byte_recv_ns)
+    }
+
+    /// Cost of combining `bytes` of operand data in a reduction.
+    pub fn compute_cost(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_nanos_f64(f64::from(bytes) * self.compute_ns_per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassCosts, CostTable};
+    use crate::spec::TopologyKind;
+
+    fn spec(engine: SendEngine) -> MachineSpec {
+        MachineSpec {
+            name: "test",
+            topology: TopologyKind::Mesh2d,
+            hop_ns: 100.0,
+            link_ns_per_byte: 10.0,
+            min_packet_bytes: 1,
+            costs: CostTable::uniform(ClassCosts {
+                entry_us: 0.0,
+                o_send_us: 0.0,
+                o_recv_us: 0.0,
+                byte_send_ns: 2.0,
+                byte_recv_ns: 3.0,
+                offload: true,
+            }),
+            compute_ns_per_byte: 5.0,
+            send_engine: engine,
+            hw_barrier: None,
+            max_nodes: 128,
+        }
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn single_hop_timing() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 2); // 2x1 mesh: one hop
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        // copy 100B * 2ns = 200ns; then wire: hop 100 + serialize 1000
+        assert_eq!(t.cpu_release.as_nanos(), 200);
+        assert_eq!(t.delivered.as_nanos(), 200 + 100 + 1000);
+    }
+
+    #[test]
+    fn local_send_skips_wire() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 4);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(2), NodeId(2), 100, T0);
+        assert_eq!(t.delivered.as_nanos(), 200, "copy only");
+    }
+
+    #[test]
+    fn coprocessor_releases_cpu_immediately() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 4.0 });
+        let mut net = NetState::new(&s, 2);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        assert_eq!(t.cpu_release, T0);
+        // Stream rate is the slower of coproc (4) and link (10): 10 ns/B.
+        assert_eq!(t.delivered.as_nanos(), 100 + 1000);
+    }
+
+    #[test]
+    fn slow_coprocessor_limits_stream_rate() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 50.0 });
+        let mut net = NetState::new(&s, 2);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        assert_eq!(t.delivered.as_nanos(), 100 + 5000);
+    }
+
+    #[test]
+    fn blt_engages_above_threshold() {
+        let s = spec(SendEngine::BlockTransfer {
+            threshold_bytes: 64,
+            setup_us: 1.0,
+            ns_per_byte: 1.0,
+        });
+        let mut net = NetState::new(&s, 2);
+        // Below threshold: CPU copy path.
+        let small = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 10, T0);
+        assert_eq!(small.cpu_release.as_nanos(), 20);
+        // Above: setup 1us, CPU released after setup, link-rate stream.
+        let mut net = NetState::new(&s, 2);
+        let big = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 1000, T0);
+        assert_eq!(big.cpu_release.as_nanos(), 1_000);
+        assert_eq!(big.delivered.as_nanos(), 1_000 + 100 + 10_000);
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        let mut net = NetState::new(&s, 4); // 4x1 mesh row... (2x2 actually)
+        // Two messages from node 0 to distinct neighbors, same instant.
+        let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        let b = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(2), 100, T0);
+        // Serialization time 1000ns each; b injects 1000ns later.
+        assert_eq!(b.delivered.as_nanos() - a.delivered.as_nanos(), 1000);
+    }
+
+    #[test]
+    fn link_contention_serializes_shared_path() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        // 4x1 row: 0->3 and 1->3 share links.
+        let mut net = NetState::with_config(
+            &s,
+            4,
+            WireConfig {
+                nic_serialization: false,
+                ..WireConfig::default()
+            },
+        );
+        let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(3), 100, T0);
+        let b = net.send(&s, OpClass::PointToPoint, NodeId(1), NodeId(3), 100, T0);
+        // b's first link (1->2) is a's second link; b must queue behind a.
+        assert!(b.delivered > a.delivered);
+        let gap = b.delivered.as_nanos() as i64 - a.delivered.as_nanos() as i64;
+        assert!(gap >= 900, "expected near-full serialization, got {gap}");
+    }
+
+    #[test]
+    fn contention_off_is_faster() {
+        let s = spec(SendEngine::Cpu);
+        let run = |cfg: WireConfig| {
+            let mut net = NetState::with_config(&s, 8, cfg);
+            let mut last = SimTime::ZERO;
+            for i in 1..8 {
+                let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(i), 4096, T0);
+                last = last.max(t.delivered);
+            }
+            last
+        };
+        let with = run(WireConfig::default());
+        let without = run(WireConfig {
+            link_contention: false,
+            nic_serialization: false,
+            ..WireConfig::default()
+        });
+        assert!(without < with, "ablating contention must speed things up");
+    }
+
+    #[test]
+    fn store_and_forward_slower_than_wormhole() {
+        let s = spec(SendEngine::Cpu);
+        let mut wh = NetState::new(&s, 16);
+        let mut sf = NetState::with_config(
+            &s,
+            16,
+            WireConfig {
+                wormhole: false,
+                ..WireConfig::default()
+            },
+        );
+        let a = wh.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(15), 4096, T0);
+        let b = sf.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(15), 4096, T0);
+        assert!(b.delivered > a.delivered);
+    }
+
+    #[test]
+    fn min_packet_floors_wire_time() {
+        let mut s = spec(SendEngine::Cpu);
+        s.min_packet_bytes = 32;
+        let mut net = NetState::new(&s, 2);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 1, T0);
+        // serialize = 32B * 10ns = 320ns even for a 1-byte payload
+        assert_eq!(t.delivered.as_nanos(), 2 + 100 + 320);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 4);
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(1), 10, T0);
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(2), 20, T0);
+        assert_eq!(net.messages_sent(), 2);
+        assert_eq!(net.bytes_sent(), 30);
+        assert!(net.total_link_busy() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn link_loads_sorted_and_consistent() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 4);
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(1), 100, T0);
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(1), 100, T0);
+        net.send(&s, OpClass::Bcast, NodeId(2), NodeId(3), 10, T0);
+        let loads = net.link_loads();
+        assert!(!loads.is_empty());
+        assert!(loads.windows(2).all(|w| w[0].1 >= w[1].1), "sorted");
+        let (hot_id, hot_busy) = net.hottest_link().unwrap();
+        assert_eq!((hot_id, hot_busy), loads[0]);
+        let total: SimDuration = loads.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, net.total_link_busy());
+    }
+
+    #[test]
+    fn idle_network_has_no_hotspots() {
+        let s = spec(SendEngine::Cpu);
+        let net = NetState::new(&s, 4);
+        assert!(net.hottest_link().is_none());
+        assert!(net.link_loads().is_empty());
+    }
+
+    #[test]
+    fn spec_overhead_helpers() {
+        let s = spec(SendEngine::Cpu);
+        assert_eq!(s.recv_overhead(OpClass::Bcast, 100).as_nanos(), 300);
+        assert_eq!(s.compute_cost(100).as_nanos(), 500);
+        assert_eq!(s.send_overhead(OpClass::Bcast), SimDuration::ZERO);
+        assert_eq!(s.entry_overhead(OpClass::Bcast), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn segmentation_preserves_uncontended_timing_roughly() {
+        // A single uncontended message takes about the same time whole
+        // or packetized (segments pipeline through the NIC).
+        let s = spec(SendEngine::Cpu);
+        let mut whole = NetState::new(&s, 2);
+        let a = whole.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 8_192, T0);
+        let mut seg = NetState::with_config(
+            &s,
+            2,
+            WireConfig {
+                segment_bytes: Some(1_024),
+                ..WireConfig::default()
+            },
+        );
+        let b = seg.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 8_192, T0);
+        let ratio = b.delivered.as_nanos() as f64 / a.delivered.as_nanos() as f64;
+        assert!((0.95..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn segmentation_interleaves_competing_messages() {
+        // Two messages sharing a link: whole-message reservation makes
+        // the second wait for the entire first; packetized, they
+        // interleave and the *first* message's delivery is delayed while
+        // the second finishes earlier than full serialization would.
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        let run = |cfg: WireConfig| {
+            let mut net = NetState::with_config(&s, 4, cfg);
+            // for_nodes(4) = 2x2 mesh; 0->3 and 2->3 share the +x link
+            // into node 3? Use 0->1 and 0->1 duplicates via nic off:
+            let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 64_000, T0);
+            let b = net.send(&s, OpClass::PointToPoint, NodeId(2), NodeId(3), 64_000, T0);
+            // third message crossing both rows: 0 -> 3 shares links
+            let c = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(3), 64_000, T0);
+            (a.delivered, b.delivered, c.delivered)
+        };
+        let whole = run(WireConfig {
+            nic_serialization: false,
+            ..WireConfig::default()
+        });
+        let segged = run(WireConfig {
+            nic_serialization: false,
+            segment_bytes: Some(4_096),
+            ..WireConfig::default()
+        });
+        // The contended third message completes no later under
+        // segmentation than whole-message reservation.
+        assert!(segged.2 <= whole.2, "{segged:?} vs {whole:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn send_out_of_range_panics() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 2);
+        net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(5), 1, T0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Prediction-accuracy metrics.
+//!
+//! The paper closes §8 arguing the fitted formulas can "predict MPP
+//! performance" and guide optimization; this module quantifies how well
+//! a [`TimingFormula`] predicts a measured [`Dataset`] — the same
+//! scoring used to validate our calibration against the published
+//! Table 3 and to compare fitted models against held-out measurements.
+
+use crate::formula::TimingFormula;
+use harness::Dataset;
+use mpisim::OpClass;
+
+/// Error statistics of a formula against a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Number of points scored.
+    pub points: usize,
+    /// Mean absolute percentage error, in `[0, ∞)` (0.1 = 10%).
+    pub mape: f64,
+    /// Geometric mean of `predicted / measured` (1 = unbiased).
+    pub bias: f64,
+    /// Largest `predicted / measured` ratio.
+    pub worst_over: f64,
+    /// Smallest `predicted / measured` ratio.
+    pub worst_under: f64,
+}
+
+impl Accuracy {
+    /// True when every prediction is within `factor` of its measurement
+    /// (e.g. `within(2.0)` = factor-of-two accuracy everywhere).
+    pub fn within(&self, factor: f64) -> bool {
+        self.worst_over <= factor && self.worst_under >= 1.0 / factor
+    }
+}
+
+/// Scores `formula` against every measurement of `(machine, op)` in
+/// `data`. Points where the measurement is non-positive are skipped.
+///
+/// Returns `None` when no scoreable points exist.
+pub fn score(
+    data: &Dataset,
+    machine: &str,
+    op: OpClass,
+    formula: &TimingFormula,
+) -> Option<Accuracy> {
+    let mut n = 0usize;
+    let mut abs_pct = 0.0f64;
+    let mut log_sum = 0.0f64;
+    let mut worst_over = f64::MIN;
+    let mut worst_under = f64::MAX;
+    for m in data.slice(machine, op) {
+        if m.time_us <= 0.0 {
+            continue;
+        }
+        let pred = formula.predict_us(m.bytes, m.nodes);
+        if pred <= 0.0 {
+            continue;
+        }
+        let ratio = pred / m.time_us;
+        n += 1;
+        abs_pct += (ratio - 1.0).abs();
+        log_sum += ratio.ln();
+        worst_over = worst_over.max(ratio);
+        worst_under = worst_under.min(ratio);
+    }
+    if n == 0 {
+        return None;
+    }
+    Some(Accuracy {
+        points: n,
+        mape: abs_pct / n as f64,
+        bias: (log_sum / n as f64).exp(),
+        worst_over,
+        worst_under,
+    })
+}
+
+/// Splits a dataset's grid into fitting and hold-out halves by machine
+/// size: sizes at even positions (sorted) train, odd positions test.
+/// Returns `(train, test)`.
+pub fn split_by_nodes(data: &Dataset, machine: &str, op: OpClass) -> (Dataset, Dataset) {
+    let mut sizes: Vec<usize> = data.slice(machine, op).map(|m| m.nodes).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let train_sizes: Vec<usize> = sizes.iter().copied().step_by(2).collect();
+    let mut train = Dataset::new();
+    let mut test = Dataset::new();
+    for m in data.slice(machine, op) {
+        if train_sizes.contains(&m.nodes) {
+            train.push(m.clone());
+        } else {
+            test.push(m.clone());
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Growth, Term};
+    use harness::Measurement;
+
+    fn point(bytes: u32, nodes: usize, t: f64) -> Measurement {
+        Measurement {
+            machine: "X".into(),
+            op: OpClass::Scatter,
+            bytes,
+            nodes,
+            time_us: t,
+            min_time_us: t,
+            mean_time_us: t,
+            per_repetition_us: vec![t],
+        }
+    }
+
+    fn formula() -> TimingFormula {
+        TimingFormula::new(
+            Term::new(Growth::Linear, 5.0, 50.0),
+            Term::new(Growth::Linear, 0.02, 0.0),
+        )
+    }
+
+    #[test]
+    fn perfect_predictions_score_zero_error() {
+        let f = formula();
+        let data: Dataset = [(4u32, 8usize), (1024, 8), (4, 32), (1024, 32)]
+            .into_iter()
+            .map(|(m, p)| point(m, p, f.predict_us(m, p)))
+            .collect();
+        let a = score(&data, "X", OpClass::Scatter, &f).unwrap();
+        assert_eq!(a.points, 4);
+        assert!(a.mape < 1e-12);
+        assert!((a.bias - 1.0).abs() < 1e-12);
+        assert!(a.within(1.0001));
+    }
+
+    #[test]
+    fn systematic_overprediction_shows_in_bias() {
+        let f = formula();
+        let data: Dataset = [(4u32, 8usize), (1024, 32)]
+            .into_iter()
+            .map(|(m, p)| point(m, p, f.predict_us(m, p) / 2.0)) // measured half
+            .collect();
+        let a = score(&data, "X", OpClass::Scatter, &f).unwrap();
+        assert!((a.bias - 2.0).abs() < 1e-9, "{a:?}");
+        assert!((a.mape - 1.0).abs() < 1e-9, "100% high");
+        assert!(!a.within(1.5));
+        assert!(a.within(2.0 + 1e-9));
+    }
+
+    #[test]
+    fn empty_or_degenerate_is_none() {
+        let data = Dataset::new();
+        assert!(score(&data, "X", OpClass::Scatter, &formula()).is_none());
+        let data: Dataset = [point(4, 8, 0.0)].into_iter().collect();
+        assert!(score(&data, "X", OpClass::Scatter, &formula()).is_none());
+    }
+
+    #[test]
+    fn split_alternates_sizes() {
+        let f = formula();
+        let data: Dataset = [2usize, 4, 8, 16, 32, 64]
+            .into_iter()
+            .flat_map(|p| [(4u32, p), (1024, p)])
+            .map(|(m, p)| point(m, p, f.predict_us(m, p)))
+            .collect();
+        let (train, test) = split_by_nodes(&data, "X", OpClass::Scatter);
+        assert_eq!(train.len(), 6); // sizes 2, 8, 32
+        assert_eq!(test.len(), 6); // sizes 4, 16, 64
+        let train_sizes: std::collections::HashSet<usize> =
+            train.iter().map(|m| m.nodes).collect();
+        assert_eq!(train_sizes, [2, 8, 32].into_iter().collect());
+    }
+
+    #[test]
+    fn cross_validation_on_synthetic_surface() {
+        // Fit on the training half, score on the held-out half: the
+        // surface is exact, so hold-out error stays tiny.
+        let f = formula();
+        let data: Dataset = [2usize, 4, 8, 16, 32, 64]
+            .into_iter()
+            .flat_map(|p| [(4u32, p), (256, p), (16_384, p)])
+            .map(|(m, p)| point(m, p, f.predict_us(m, p)))
+            .collect();
+        let (train, test) = split_by_nodes(&data, "X", OpClass::Scatter);
+        let fitted = crate::surface::fit_surface(&train, "X", OpClass::Scatter).unwrap();
+        let a = score(&test, "X", OpClass::Scatter, &fitted).unwrap();
+        assert!(a.mape < 0.05, "{a:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Timing breakdowns (Fig. 4) and aggregated-bandwidth series (Fig. 5).
+
+use crate::surface::{fit_surface, FitError};
+use harness::Dataset;
+use mpisim::OpClass;
+
+/// Startup/transmission decomposition of one measured point (one bar of
+/// Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Machine display name.
+    pub machine: String,
+    /// Operation.
+    pub op: OpClass,
+    /// Message length, bytes.
+    pub bytes: u32,
+    /// Machine size.
+    pub nodes: usize,
+    /// Measured total time, microseconds.
+    pub total_us: f64,
+    /// Fitted startup latency `T0(p)`, microseconds.
+    pub startup_us: f64,
+    /// Transmission delay `D = T - T0`, microseconds (clamped at 0).
+    pub transmission_us: f64,
+}
+
+impl Breakdown {
+    /// Fraction of the total spent in startup, in `[0, 1]`.
+    pub fn startup_fraction(&self) -> f64 {
+        if self.total_us <= 0.0 {
+            return 0.0;
+        }
+        (self.startup_us / self.total_us).clamp(0.0, 1.0)
+    }
+}
+
+/// Decomposes the measured `T(bytes, nodes)` into startup + transmission
+/// using the fitted `T0(p)` surface (the paper's §3 method:
+/// `D(m, p) = T(m, p) - T0(p)`).
+///
+/// # Errors
+///
+/// Returns [`FitError`] when the surface cannot be fitted or the point
+/// is missing.
+pub fn breakdown(
+    data: &Dataset,
+    machine: &str,
+    op: OpClass,
+    bytes: u32,
+    nodes: usize,
+) -> Result<Breakdown, FitError> {
+    let formula = fit_surface(data, machine, op)?;
+    let point = data
+        .at(machine, op, bytes, nodes)
+        .ok_or(FitError::NoData)?;
+    let startup = formula.startup_us(nodes).min(point.time_us);
+    Ok(Breakdown {
+        machine: machine.to_string(),
+        op,
+        bytes,
+        nodes,
+        total_us: point.time_us,
+        startup_us: startup,
+        transmission_us: (point.time_us - startup).max(0.0),
+    })
+}
+
+/// One point of an aggregated-bandwidth curve (Fig. 5): `R∞(p)` from the
+/// fitted surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPoint {
+    /// Machine size.
+    pub nodes: usize,
+    /// Asymptotic aggregated bandwidth, MB/s.
+    pub mb_s: f64,
+}
+
+/// The `R∞(p)` series for `(machine, op)` over the machine sizes present
+/// in the dataset (§8, Eq. 4). Sizes where the fitted per-byte delay is
+/// non-positive are skipped.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when the surface cannot be fitted.
+pub fn bandwidth_series(
+    data: &Dataset,
+    machine: &str,
+    op: OpClass,
+) -> Result<Vec<BandwidthPoint>, FitError> {
+    let formula = fit_surface(data, machine, op)?;
+    let mut sizes: Vec<usize> = data.slice(machine, op).map(|m| m.nodes).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    Ok(sizes
+        .into_iter()
+        .filter_map(|p| {
+            let agg_per_m = op.aggregated_bytes(1, p as u64);
+            formula
+                .asymptotic_bandwidth_mb_s(agg_per_m, p)
+                .map(|mb_s| BandwidthPoint { nodes: p, mb_s })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::Measurement;
+
+    fn dataset() -> Dataset {
+        // T = (10p + 5) + 0.02m exactly.
+        let mut d = Dataset::new();
+        for &p in &[2usize, 4, 8, 16, 32] {
+            for &m in &[4u32, 1024, 65536] {
+                let t = 10.0 * p as f64 + 5.0 + 0.02 * f64::from(m);
+                d.push(Measurement {
+                    machine: "X".into(),
+                    op: OpClass::Scatter,
+                    bytes: m,
+                    nodes: p,
+                    time_us: t,
+                    min_time_us: t,
+                    mean_time_us: t,
+                    per_repetition_us: vec![t],
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let d = dataset();
+        let b = breakdown(&d, "X", OpClass::Scatter, 1024, 16).unwrap();
+        assert!((b.startup_us + b.transmission_us - b.total_us).abs() < 1e-9);
+        // T0(16) ~ 165 + slope-at-min-m correction; transmission ~ 0.02*1024.
+        assert!((b.transmission_us - 20.48).abs() < 1.0, "{b:?}");
+        assert!(b.startup_fraction() > 0.8);
+    }
+
+    #[test]
+    fn missing_point_is_error() {
+        let d = dataset();
+        assert_eq!(
+            breakdown(&d, "X", OpClass::Scatter, 999, 16),
+            Err(FitError::NoData)
+        );
+        assert_eq!(
+            breakdown(&d, "Y", OpClass::Scatter, 1024, 16),
+            Err(FitError::NoData)
+        );
+    }
+
+    #[test]
+    fn bandwidth_series_monotone_for_scatter() {
+        // R∞(p) = (p-1)/perbyte with constant perbyte: grows with p.
+        let d = dataset();
+        let series = bandwidth_series(&d, "X", OpClass::Scatter).unwrap();
+        assert_eq!(series.len(), 5);
+        for w in series.windows(2) {
+            assert!(w[1].mb_s > w[0].mb_s);
+        }
+        // perbyte = 0.02 us/B -> R∞(32) = 31/0.02 = 1550 MB/s.
+        let last = series.last().unwrap();
+        assert!((last.mb_s - 1550.0).abs() < 50.0, "{last:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Crossover analysis between machines.
+//!
+//! §5–§6 of the paper dwell on ranking switches: "the SP2 outperforms
+//! the Paragon in any short messages less than 1 KBytes. The Paragon
+//! performs better than the SP2 in long messages". Given two fitted
+//! [`TimingFormula`]s, the crossover message length at a machine size is
+//! where the two predicted times meet:
+//!
+//! `T_a(m*, p) = T_b(m*, p)  ⇒  m* = (T0_b − T0_a) / (d_a − d_b)`
+//!
+//! with `d` the per-byte delays at `p`.
+
+use crate::formula::TimingFormula;
+
+/// The relationship between two machines at one machine size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Crossover {
+    /// `a` is faster at every message length.
+    AlwaysFirst,
+    /// `b` is faster at every message length.
+    AlwaysSecond,
+    /// `a` is faster below the given message length, `b` above it.
+    At {
+        /// Crossover message length, bytes.
+        bytes: f64,
+    },
+    /// `b` is faster below the given message length, `a` above it
+    /// (the reverse crossover: `a` has higher startup but lower
+    /// per-byte cost).
+    ReversedAt {
+        /// Crossover message length, bytes.
+        bytes: f64,
+    },
+}
+
+/// Finds the crossover between formulas `a` and `b` at machine size `p`.
+///
+/// Uses the raw (unclamped) startup and per-byte terms; formulas whose
+/// terms coincide within floating-point noise are treated as tied in
+/// favour of `a`.
+pub fn crossover(a: &TimingFormula, b: &TimingFormula, p: usize) -> Crossover {
+    let t0_a = a.startup_us(p);
+    let t0_b = b.startup_us(p);
+    let d_a = a.per_byte.eval(p).max(0.0);
+    let d_b = b.per_byte.eval(p).max(0.0);
+    let eps = 1e-12;
+    if (d_a - d_b).abs() < eps {
+        // Parallel per-byte lines: startup decides everywhere.
+        return if t0_a <= t0_b {
+            Crossover::AlwaysFirst
+        } else {
+            Crossover::AlwaysSecond
+        };
+    }
+    let m_star = (t0_b - t0_a) / (d_a - d_b);
+    if m_star <= 0.0 {
+        // The lines meet at or before m = 0: whoever is cheaper for
+        // m > 0 wins everywhere. With equal startups that is the lower
+        // per-byte machine; otherwise the lower startup decides (its
+        // advantage only grows when it also has the lower per-byte cost).
+        let a_wins = if (t0_a - t0_b).abs() <= eps {
+            d_a < d_b
+        } else {
+            t0_a < t0_b
+        };
+        return if a_wins {
+            Crossover::AlwaysFirst
+        } else {
+            Crossover::AlwaysSecond
+        };
+    }
+    if d_a > d_b {
+        // `a` starts faster but pays more per byte.
+        Crossover::At { bytes: m_star }
+    } else {
+        Crossover::ReversedAt { bytes: m_star }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Growth, Term};
+    use crate::paper::table3;
+    use mpisim::{MachineId, OpClass};
+
+    fn f(t0: f64, per_byte: f64) -> TimingFormula {
+        TimingFormula::new(
+            Term::new(Growth::Linear, 0.0, t0),
+            Term::new(Growth::Linear, 0.0, per_byte),
+        )
+    }
+
+    #[test]
+    fn classic_crossover() {
+        // a: cheap startup, expensive bytes; b: the reverse.
+        let a = f(100.0, 0.1);
+        let b = f(500.0, 0.05);
+        match crossover(&a, &b, 8) {
+            Crossover::At { bytes } => assert!((bytes - 8_000.0).abs() < 1e-6),
+            other => panic!("expected At, got {other:?}"),
+        }
+        // Verify the decision flips at the crossover.
+        assert!(a.predict_us(7_999, 8) < b.predict_us(7_999, 8));
+        assert!(a.predict_us(8_001, 8) > b.predict_us(8_001, 8));
+    }
+
+    #[test]
+    fn dominance_cases() {
+        assert_eq!(crossover(&f(10.0, 0.01), &f(20.0, 0.02), 8), Crossover::AlwaysFirst);
+        assert_eq!(crossover(&f(20.0, 0.02), &f(10.0, 0.01), 8), Crossover::AlwaysSecond);
+        // Same per-byte: startup decides.
+        assert_eq!(crossover(&f(10.0, 0.05), &f(30.0, 0.05), 8), Crossover::AlwaysFirst);
+    }
+
+    #[test]
+    fn equal_startup_decided_by_per_byte() {
+        // Equal T0, differing per-byte: the cheaper-per-byte machine
+        // wins at every m > 0.
+        assert_eq!(crossover(&f(100.0, 0.2), &f(100.0, 0.1), 8), Crossover::AlwaysSecond);
+        assert_eq!(crossover(&f(100.0, 0.1), &f(100.0, 0.2), 8), Crossover::AlwaysFirst);
+    }
+
+    #[test]
+    fn reversed_crossover() {
+        // a: slow start, cheap bytes.
+        let a = f(500.0, 0.05);
+        let b = f(100.0, 0.1);
+        match crossover(&a, &b, 8) {
+            Crossover::ReversedAt { bytes } => assert!((bytes - 8_000.0).abs() < 1e-6),
+            other => panic!("expected ReversedAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_sp2_paragon_crossovers() {
+        // §5: SP2 beats the Paragon below ~1 KB and loses above, for the
+        // bandwidth-heavy operations. Check with the published Table 3.
+        // (Broadcast is excluded: the published fits give the Paragon
+        // both the lower startup and the lower per-byte cost there —
+        // "the SP2 and Paragon perform about the same in the broadcast".)
+        for op in [OpClass::Scatter, OpClass::Gather, OpClass::Alltoall] {
+            let sp2 = table3(MachineId::Sp2, op).unwrap();
+            let paragon = table3(MachineId::Paragon, op).unwrap();
+            match crossover(&sp2, &paragon, 64) {
+                Crossover::At { bytes } => {
+                    assert!(
+                        (100.0..30_000.0).contains(&bytes),
+                        "{op}: crossover at {bytes:.0} B"
+                    );
+                }
+                other => panic!("{op}: expected a crossover, got {other:?}"),
+            }
+        }
+        // Reduce is the exception: the SP2's published per-byte cost at
+        // p = 64 is *lower*, so no SP2→Paragon handoff happens.
+        let sp2 = table3(MachineId::Sp2, OpClass::Reduce).unwrap();
+        let paragon = table3(MachineId::Paragon, OpClass::Reduce).unwrap();
+        assert!(matches!(
+            crossover(&sp2, &paragon, 64),
+            Crossover::AlwaysFirst
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Ordinary least-squares fitting primitives.
+
+/// Result of a one-variable linear fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for a perfect fit; by
+    /// convention 1 when the data has zero variance).
+    pub r2: f64,
+}
+
+impl LinFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Least-squares fit of `y = a·x + b` over `(x, y)` points.
+///
+/// Returns `None` with fewer than two points or when all `x` coincide
+/// (the slope is unidentifiable).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let det = nf * sxx - sx * sx;
+    if det.abs() < 1e-12 * (1.0 + sxx.abs()) {
+        return None;
+    }
+    let slope = (nf * sxy - sx * sy) / det;
+    let intercept = (sy - slope * sx) / nf;
+
+    let mean_y = sy / nf;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot <= f64::EPSILON * (1.0 + mean_y * mean_y) {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LinFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 2.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+        assert!((f.predict(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_approximated() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 5.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.slope - 5.0).abs() < 0.05);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(3.0, 1.0), (3.0, 5.0)]).is_none(), "vertical");
+    }
+
+    #[test]
+    fn constant_data_has_r2_one() {
+        let f = linear_fit(&[(1.0, 7.0), (2.0, 7.0), (3.0, 7.0)]).unwrap();
+        assert!(f.slope.abs() < 1e-12);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn r2_penalizes_bad_fits() {
+        // A parabola fitted by a line: r2 noticeably below 1.
+        let pts: Vec<(f64, f64)> = (-5..=5).map(|i| (i as f64, (i * i) as f64)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!(f.r2 < 0.5, "r2 = {}", f.r2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Table-3-style timing formulas: `T(m, p) = T0(p) + D(m, p)` with
+//! `T0(p) = a·f(p) + b` and `D(m, p) = (c·f(p) + d)·m`, where `f` is
+//! either `p` (linear growth) or `log2 p` (logarithmic growth).
+
+use crate::fit::{linear_fit, LinFit};
+use core::fmt;
+
+/// Growth family of a term in the timing formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Growth {
+    /// Term grows like `p` (root- or round-serialized operations).
+    Linear,
+    /// Term grows like `log2 p` (tree-structured operations).
+    Logarithmic,
+}
+
+impl Growth {
+    /// Evaluates the basis function at machine size `p`.
+    pub fn eval(self, p: usize) -> f64 {
+        match self {
+            Growth::Linear => p as f64,
+            Growth::Logarithmic => (p.max(1) as f64).log2(),
+        }
+    }
+
+    /// The paper's notation for the basis.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Growth::Linear => "p",
+            Growth::Logarithmic => "log p",
+        }
+    }
+}
+
+/// One affine term `coeff·f(p) + offset` of the formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Term {
+    /// Growth basis.
+    pub growth: Growth,
+    /// Coefficient on the basis function.
+    pub coeff: f64,
+    /// Constant offset.
+    pub offset: f64,
+    /// Goodness of the fit that produced this term (1 when exact or
+    /// hand-specified).
+    pub r2: f64,
+}
+
+impl Term {
+    /// A term that is identically zero.
+    pub const ZERO: Term = Term {
+        growth: Growth::Linear,
+        coeff: 0.0,
+        offset: 0.0,
+        r2: 1.0,
+    };
+
+    /// Builds a term without fit metadata (r² = 1).
+    pub fn new(growth: Growth, coeff: f64, offset: f64) -> Self {
+        Term {
+            growth,
+            coeff,
+            offset,
+            r2: 1.0,
+        }
+    }
+
+    /// Evaluates the term at machine size `p`.
+    pub fn eval(&self, p: usize) -> f64 {
+        self.coeff * self.growth.eval(p) + self.offset
+    }
+
+    /// True when the term is effectively zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeff.abs() < 1e-12 && self.offset.abs() < 1e-12
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.offset < 0.0 { "-" } else { "+" };
+        write!(
+            f,
+            "{:.3} {} {} {:.3}",
+            self.coeff,
+            self.growth.symbol(),
+            sign,
+            self.offset.abs()
+        )
+    }
+}
+
+/// Fits `y = a·f(p) + b` over `(p, y)` points, trying both growth bases
+/// and keeping the better fit (by r²). Returns `None` for degenerate
+/// inputs.
+pub fn fit_term(points: &[(usize, f64)]) -> Option<Term> {
+    let as_xy = |g: Growth| -> Vec<(f64, f64)> {
+        points.iter().map(|&(p, y)| (g.eval(p), y)).collect()
+    };
+    let lin = linear_fit(&as_xy(Growth::Linear));
+    let log = linear_fit(&as_xy(Growth::Logarithmic));
+    let to_term = |g: Growth, f: LinFit| Term {
+        growth: g,
+        coeff: f.slope,
+        offset: f.intercept,
+        r2: f.r2,
+    };
+    match (lin, log) {
+        (Some(a), Some(b)) => Some(if a.r2 >= b.r2 {
+            to_term(Growth::Linear, a)
+        } else {
+            to_term(Growth::Logarithmic, b)
+        }),
+        (Some(a), None) => Some(to_term(Growth::Linear, a)),
+        (None, Some(b)) => Some(to_term(Growth::Logarithmic, b)),
+        (None, None) => None,
+    }
+}
+
+/// A complete Table-3 row: startup latency plus per-byte transmission
+/// delay, both as affine terms over a growth basis. All times in
+/// microseconds, message length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingFormula {
+    /// Startup latency `T0(p)`, microseconds.
+    pub startup: Term,
+    /// Per-byte transmission coefficient of `D(m, p) / m`,
+    /// microseconds per byte.
+    pub per_byte: Term,
+}
+
+impl TimingFormula {
+    /// Builds a formula from explicit terms.
+    pub fn new(startup: Term, per_byte: Term) -> Self {
+        TimingFormula { startup, per_byte }
+    }
+
+    /// Startup latency at machine size `p`, microseconds (clamped at 0).
+    pub fn startup_us(&self, p: usize) -> f64 {
+        self.startup.eval(p).max(0.0)
+    }
+
+    /// Transmission delay for `m` bytes at size `p`, microseconds
+    /// (clamped at 0 — the fitted per-byte term can go negative at small
+    /// `p`, as several of the paper's own rows do).
+    pub fn transmission_us(&self, m: u32, p: usize) -> f64 {
+        (self.per_byte.eval(p) * f64::from(m)).max(0.0)
+    }
+
+    /// Predicted collective messaging time `T(m, p)`, microseconds.
+    pub fn predict_us(&self, m: u32, p: usize) -> f64 {
+        self.startup_us(p) + self.transmission_us(m, p)
+    }
+
+    /// Asymptotic aggregated bandwidth `R∞(p)` in MB/s for an operation
+    /// with aggregated volume `f(m, p) = agg_per_m · m` (§8, Eq. 4).
+    ///
+    /// Returns `None` when the per-byte delay at `p` is non-positive.
+    pub fn asymptotic_bandwidth_mb_s(&self, agg_per_m: u64, p: usize) -> Option<f64> {
+        let per_byte = self.per_byte.eval(p);
+        if per_byte <= 0.0 || agg_per_m == 0 {
+            return None;
+        }
+        // bytes per microsecond == MB/s
+        Some(agg_per_m as f64 / per_byte)
+    }
+}
+
+impl fmt::Display for TimingFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.per_byte.is_zero() {
+            write!(f, "{}", self.startup)
+        } else {
+            write!(f, "({}) + ({})m", self.startup, self.per_byte)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_bases() {
+        assert_eq!(Growth::Linear.eval(64), 64.0);
+        assert_eq!(Growth::Logarithmic.eval(64), 6.0);
+        assert_eq!(Growth::Logarithmic.eval(1), 0.0);
+        assert_eq!(Growth::Logarithmic.eval(0), 0.0, "clamped");
+    }
+
+    #[test]
+    fn fit_picks_correct_family() {
+        // Linear data: y = 4p + 10
+        let lin: Vec<(usize, f64)> = [2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| (p, 4.0 * p as f64 + 10.0))
+            .collect();
+        let t = fit_term(&lin).unwrap();
+        assert_eq!(t.growth, Growth::Linear);
+        assert!((t.coeff - 4.0).abs() < 1e-9);
+
+        // Logarithmic data: y = 55 log2(p) + 30
+        let log: Vec<(usize, f64)> = [2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| (p, 55.0 * (p as f64).log2() + 30.0))
+            .collect();
+        let t = fit_term(&log).unwrap();
+        assert_eq!(t.growth, Growth::Logarithmic);
+        assert!((t.coeff - 55.0).abs() < 1e-9);
+        assert!((t.offset - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_degenerate_is_none() {
+        assert!(fit_term(&[]).is_none());
+        assert!(fit_term(&[(4, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn formula_prediction_matches_paper_example() {
+        // §8: T3D total exchange (26p + 8.6) + (0.038p - 0.12)m at
+        // m = 512, p = 64 gives 2.86 ms.
+        let f = TimingFormula::new(
+            Term::new(Growth::Linear, 26.0, 8.6),
+            Term::new(Growth::Linear, 0.038, -0.12),
+        );
+        let t = f.predict_us(512, 64);
+        assert!((t / 1000.0 - 2.86).abs() < 0.05, "{t} us");
+    }
+
+    #[test]
+    fn negative_transmission_clamped() {
+        let f = TimingFormula::new(
+            Term::new(Growth::Linear, 10.0, 0.0),
+            Term::new(Growth::Linear, 0.04, -0.3),
+        );
+        // At p = 2 the per-byte term is negative: D clamps to 0.
+        assert_eq!(f.transmission_us(1024, 2), 0.0);
+        assert!(f.predict_us(1024, 2) > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_matches_paper_headline() {
+        // §8: aggregated bandwidth of 64-node total exchange.
+        let t3d = TimingFormula::new(
+            Term::new(Growth::Linear, 26.0, 8.6),
+            Term::new(Growth::Linear, 0.038, -0.12),
+        );
+        let agg = 64u64 * 63; // f(m,p)/m for alltoall
+        let r = t3d.asymptotic_bandwidth_mb_s(agg, 64).unwrap();
+        assert!((r / 1000.0 - 1.745).abs() < 0.02, "{r} MB/s");
+    }
+
+    #[test]
+    fn display_formats_like_table3() {
+        let f = TimingFormula::new(
+            Term::new(Growth::Linear, 5.8, 77.0),
+            Term::new(Growth::Linear, 0.039, -0.12),
+        );
+        let s = f.to_string();
+        assert!(s.contains("5.800 p + 77.000"), "{s}");
+        assert!(s.contains("0.039 p - 0.120"), "{s}");
+        let barrier = TimingFormula::new(
+            Term::new(Growth::Logarithmic, 123.0, -90.0),
+            Term::ZERO,
+        );
+        assert_eq!(barrier.to_string(), "123.000 log p - 90.000");
+    }
+}

@@ -1,0 +1,107 @@
+//! Hockney's point-to-point communication model.
+//!
+//! §9 of the paper contrasts its *aggregated bandwidth* metric with
+//! Hockney's classical point-to-point characterization
+//! (`T(m) = t0 + m / r∞`), noting the latter "is only effective in
+//! characterizing point-to-point communications". This module implements
+//! that characterization so users can produce both views:
+//!
+//! * `r∞` — asymptotic bandwidth (MB/s);
+//! * `t0` — zero-byte latency (µs);
+//! * `n½` — the half-performance message length, `t0 · r∞`, the size at
+//!   which half the asymptotic bandwidth is achieved.
+
+use crate::fit::linear_fit;
+
+/// Fitted Hockney parameters for one point-to-point path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HockneyFit {
+    /// Zero-byte latency, microseconds.
+    pub t0_us: f64,
+    /// Asymptotic bandwidth, MB/s.
+    pub r_inf_mb_s: f64,
+    /// Half-performance message length, bytes.
+    pub n_half: f64,
+    /// Goodness of the underlying linear fit.
+    pub r2: f64,
+}
+
+impl HockneyFit {
+    /// Predicted transfer time for `m` bytes, microseconds.
+    pub fn predict_us(&self, m: u32) -> f64 {
+        self.t0_us + f64::from(m) / self.r_inf_mb_s
+    }
+
+    /// Effective bandwidth at message length `m`, MB/s.
+    pub fn bandwidth_at(&self, m: u32) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        f64::from(m) / self.predict_us(m)
+    }
+}
+
+/// Fits Hockney's `T(m) = t0 + m/r∞` to `(bytes, time_us)` samples.
+///
+/// Returns `None` for degenerate inputs (fewer than two distinct sizes,
+/// or a non-positive fitted rate — a sign the data is not
+/// bandwidth-limited over the sampled range).
+pub fn fit_hockney(points: &[(u32, f64)]) -> Option<HockneyFit> {
+    let xy: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(m, t)| (f64::from(m), t))
+        .collect();
+    let f = linear_fit(&xy)?;
+    if f.slope <= 0.0 {
+        return None;
+    }
+    let r_inf = 1.0 / f.slope; // B/us == MB/s
+    let t0 = f.intercept.max(0.0);
+    Some(HockneyFit {
+        t0_us: t0,
+        r_inf_mb_s: r_inf,
+        n_half: t0 * r_inf,
+        r2: f.r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hockney_recovered() {
+        // t0 = 40 us, r_inf = 35 MB/s (SP2-ish point-to-point).
+        let pts: Vec<(u32, f64)> = [64u32, 1_024, 16_384, 65_536]
+            .iter()
+            .map(|&m| (m, 40.0 + f64::from(m) / 35.0))
+            .collect();
+        let f = fit_hockney(&pts).expect("fit");
+        assert!((f.t0_us - 40.0).abs() < 1e-6);
+        assert!((f.r_inf_mb_s - 35.0).abs() < 1e-6);
+        assert!((f.n_half - 1400.0).abs() < 1e-3);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn half_performance_definition() {
+        let f = HockneyFit {
+            t0_us: 10.0,
+            r_inf_mb_s: 100.0,
+            n_half: 1000.0,
+            r2: 1.0,
+        };
+        // At m = n_half the effective bandwidth is half of r_inf.
+        let eff = f.bandwidth_at(1000);
+        assert!((eff - 50.0).abs() < 1e-9, "{eff}");
+        assert_eq!(f.bandwidth_at(0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_hockney(&[]).is_none());
+        assert!(fit_hockney(&[(64, 1.0)]).is_none());
+        // Time shrinking with size: non-physical, no rate.
+        assert!(fit_hockney(&[(64, 10.0), (1024, 5.0)]).is_none());
+    }
+}

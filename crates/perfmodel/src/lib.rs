@@ -1,0 +1,48 @@
+//! # perfmodel — the paper's performance model and fitting pipeline
+//!
+//! Implements §3 and §8 of the paper:
+//!
+//! * `T(m, p) = T0(p) + D(m, p)` — collective messaging time decomposed
+//!   into startup latency and transmission delay;
+//! * curve fitting of both terms against linear (`a·p + b`) and
+//!   logarithmic (`a·log2 p + b`) growth, keeping the better basis
+//!   ([`fit_term`], [`fit_surface`]);
+//! * Table-3-style closed forms ([`TimingFormula`]) with prediction and
+//!   pretty-printing;
+//! * aggregated bandwidth `R∞(p) = lim f(m,p)/D(m,p)` (Eq. 4) and timing
+//!   breakdowns ([`breakdown()`](breakdown::breakdown));
+//! * the paper's published coefficients and headline numbers as
+//!   validation oracles ([`paper`]).
+//!
+//! # Examples
+//!
+//! Predict the paper's §8 worked example — T3D total exchange of 512 B
+//! over 64 nodes in 2.86 ms:
+//!
+//! ```
+//! use perfmodel::paper::table3;
+//! use mpisim::{MachineId, OpClass};
+//!
+//! let f = table3(MachineId::T3d, OpClass::Alltoall).unwrap();
+//! let ms = f.predict_us(512, 64) / 1000.0;
+//! assert!((ms - 2.86).abs() < 0.05);
+//! ```
+
+pub mod accuracy;
+pub mod breakdown;
+pub mod crossover;
+pub mod fit;
+pub mod hockney;
+pub mod formula;
+pub mod paper;
+pub mod scaling;
+pub mod surface;
+
+pub use accuracy::{score, split_by_nodes, Accuracy};
+pub use breakdown::{bandwidth_series, breakdown, BandwidthPoint, Breakdown};
+pub use crossover::{crossover, Crossover};
+pub use fit::{linear_fit, LinFit};
+pub use hockney::{fit_hockney, HockneyFit};
+pub use formula::{fit_term, Growth, Term, TimingFormula};
+pub use scaling::{amdahl_speedup, isoefficiency_m, karp_flatt, ScalingCurve};
+pub use surface::{fit_all, fit_surface, FitError};

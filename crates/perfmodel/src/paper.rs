@@ -1,0 +1,164 @@
+//! The paper's published results, encoded as data.
+//!
+//! Table 3's closed-form timing expressions and the headline numbers of
+//! §1/§5/§7/§8 serve two purposes: validation oracles for the simulator
+//! (are our fitted surfaces in the right territory?) and reference
+//! columns in the generated `EXPERIMENTS.md`.
+
+use crate::formula::{Growth, Term, TimingFormula};
+use mpisim::{MachineId, OpClass};
+
+/// The paper's Table 3 row for `(machine, op)` — exact published
+/// coefficients, times in microseconds.
+pub fn table3(machine: MachineId, op: OpClass) -> Option<TimingFormula> {
+    use Growth::{Linear as P, Logarithmic as L};
+    let t = |g, c, o| Term::new(g, c, o);
+    let f = |s, d| Some(TimingFormula::new(s, d));
+    match (machine, op) {
+        // Barrier (startup only)
+        (MachineId::Sp2, OpClass::Barrier) => f(t(L, 123.0, -90.0), Term::ZERO),
+        (MachineId::T3d, OpClass::Barrier) => f(t(L, 0.011, 3.0), Term::ZERO),
+        (MachineId::Paragon, OpClass::Barrier) => f(t(L, 147.0, -66.0), Term::ZERO),
+        // Broadcast
+        (MachineId::Sp2, OpClass::Bcast) => f(t(L, 55.0, 30.0), t(L, 0.014, 0.053)),
+        (MachineId::T3d, OpClass::Bcast) => f(t(L, 23.0, 12.0), t(L, 0.013, -0.0071)),
+        (MachineId::Paragon, OpClass::Bcast) => f(t(L, 52.0, 15.0), t(L, 0.019, -0.022)),
+        // Gather
+        (MachineId::Sp2, OpClass::Gather) => f(t(P, 3.7, 128.0), t(P, 0.022, -0.011)),
+        (MachineId::T3d, OpClass::Gather) => f(t(P, 5.3, 30.0), t(P, 0.0047, 0.0084)),
+        (MachineId::Paragon, OpClass::Gather) => f(t(P, 48.0, 15.0), t(P, 0.0081, 0.039)),
+        // Scatter
+        (MachineId::Sp2, OpClass::Scatter) => f(t(P, 5.8, 77.0), t(P, 0.039, -0.12)),
+        (MachineId::T3d, OpClass::Scatter) => f(t(P, 4.3, 67.0), t(P, 0.0057, 0.16)),
+        (MachineId::Paragon, OpClass::Scatter) => f(t(P, 18.0, 78.0), t(P, 0.0031, 0.039)),
+        // Reduce
+        (MachineId::Sp2, OpClass::Reduce) => f(t(L, 63.0, 26.0), t(L, 0.016, 0.071)),
+        (MachineId::T3d, OpClass::Reduce) => f(t(L, 34.0, 49.0), t(L, 0.061, -0.00035)),
+        (MachineId::Paragon, OpClass::Reduce) => f(t(L, 77.0, 3.6), t(L, 0.16, -0.028)),
+        // Scan (startup logarithmic, per-byte linear in p)
+        (MachineId::Sp2, OpClass::Scan) => f(t(L, 100.0, -43.0), t(P, 0.0010, 0.23)),
+        (MachineId::T3d, OpClass::Scan) => f(t(L, 28.0, 41.0), t(P, 0.0046, 0.12)),
+        (MachineId::Paragon, OpClass::Scan) => f(t(L, 10.0, 73.0), t(P, 0.0033, 0.28)),
+        // Total exchange
+        (MachineId::Sp2, OpClass::Alltoall) => f(t(P, 24.0, 90.0), t(P, 0.082, -0.29)),
+        (MachineId::T3d, OpClass::Alltoall) => f(t(P, 26.0, 8.6), t(P, 0.038, -0.12)),
+        (MachineId::Paragon, OpClass::Alltoall) => f(t(P, 97.0, 82.0), t(P, 0.073, -0.10)),
+        (_, OpClass::PointToPoint) => None,
+    }
+}
+
+/// §4: the T3D's measured startup latencies at 64 nodes, microseconds.
+/// Order: broadcast, total exchange, scatter, gather, scan, reduce.
+pub const T3D_64_NODE_LATENCIES_US: [(OpClass, f64); 6] = [
+    (OpClass::Bcast, 150.0),
+    (OpClass::Alltoall, 1700.0),
+    (OpClass::Scatter, 298.0),
+    (OpClass::Gather, 365.0),
+    (OpClass::Scan, 209.0),
+    (OpClass::Reduce, 253.0),
+];
+
+/// §8: aggregated bandwidth of the 64-node total exchange, GB/s, for
+/// (T3D, Paragon, SP2).
+pub const ALLTOALL_64_BANDWIDTH_GB_S: [(MachineId, f64); 3] = [
+    (MachineId::T3d, 1.745),
+    (MachineId::Paragon, 0.879),
+    (MachineId::Sp2, 0.818),
+];
+
+/// §5: the SP2's 64-node, 64 KB total exchange takes 317 ms.
+pub const SP2_ALLTOALL_64KB_64N_MS: f64 = 317.0;
+
+/// §1: the T3D hardwired barrier completes in about 3 µs.
+pub const T3D_BARRIER_US: f64 = 3.0;
+
+/// §4: per-hop network latencies quoted by the paper, nanoseconds, for
+/// (SP2, T3D, Paragon).
+pub const HOP_LATENCIES_NS: [(MachineId, f64); 3] = [
+    (MachineId::Sp2, 125.0),
+    (MachineId::T3d, 20.0),
+    (MachineId::Paragon, 40.0),
+];
+
+/// §5: link bandwidths quoted by the paper, MB/s.
+pub const LINK_BANDWIDTHS_MB_S: [(MachineId, f64); 3] = [
+    (MachineId::T3d, 300.0),
+    (MachineId::Paragon, 175.0),
+    (MachineId::Sp2, 40.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_is_complete_for_measured_ops() {
+        for machine in MachineId::ALL {
+            for op in OpClass::COLLECTIVES {
+                assert!(table3(machine, op).is_some(), "{machine}/{op}");
+            }
+            assert!(table3(machine, OpClass::PointToPoint).is_none());
+        }
+    }
+
+    #[test]
+    fn internal_consistency_of_headlines() {
+        // The published formulas reproduce the published headlines.
+        let sp2 = table3(MachineId::Sp2, OpClass::Alltoall).unwrap();
+        let ms = sp2.predict_us(65_536, 64) / 1000.0;
+        assert!(
+            (ms - SP2_ALLTOALL_64KB_64N_MS).abs() / SP2_ALLTOALL_64KB_64N_MS < 0.05,
+            "{ms} ms vs 317 ms"
+        );
+        for (machine, gb_s) in ALLTOALL_64_BANDWIDTH_GB_S {
+            let f = table3(machine, OpClass::Alltoall).unwrap();
+            let r = f.asymptotic_bandwidth_mb_s(64 * 63, 64).unwrap() / 1000.0;
+            assert!((r - gb_s).abs() / gb_s < 0.02, "{machine}: {r} vs {gb_s}");
+        }
+        let t3d_barrier = table3(MachineId::T3d, OpClass::Barrier).unwrap();
+        assert!((t3d_barrier.startup_us(64) - 3.066).abs() < 0.01);
+    }
+
+    #[test]
+    fn startup_growth_families_match_section8() {
+        // O(log p): barrier, scan, reduce, broadcast. O(p): the rest.
+        for machine in MachineId::ALL {
+            for op in OpClass::COLLECTIVES {
+                let f = table3(machine, op).unwrap();
+                let expect_log = op.startup_is_logarithmic();
+                assert_eq!(
+                    f.startup.growth == Growth::Logarithmic,
+                    expect_log,
+                    "{machine}/{op}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t3d_fastest_in_most_startup_latencies() {
+        // Fig. 1's narrative: T3D lowest startup except scan (where the
+        // Paragon wins at scale).
+        for op in OpClass::COLLECTIVES {
+            let t3d = table3(MachineId::T3d, op).unwrap().startup_us(64);
+            let sp2 = table3(MachineId::Sp2, op).unwrap().startup_us(64);
+            let pg = table3(MachineId::Paragon, op).unwrap().startup_us(64);
+            match op {
+                OpClass::Scan => {
+                    assert!(pg < t3d, "Paragon scan beats T3D at 64 nodes");
+                }
+                OpClass::Alltoall => {
+                    // The published fits cross slightly at p = 64 (SP2
+                    // 1626 us vs T3D 1673 us); the *measured* Fig. 1b has
+                    // them nearly tied. Require near-tie, not strict win.
+                    assert!(t3d <= sp2 * 1.05 && t3d <= pg, "{t3d} vs {sp2}/{pg}");
+                }
+                _ => {
+                    // 5% slack: the published gather fits also cross
+                    // marginally at p = 64 (T3D 369 us vs SP2 365 us).
+                    assert!(t3d <= sp2 * 1.05 && t3d <= pg, "{op}: {t3d} vs {sp2}/{pg}");
+                }
+            }
+        }
+    }
+}

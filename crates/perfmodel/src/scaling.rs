@@ -1,0 +1,261 @@
+//! Speedup, efficiency, and scalability analysis.
+//!
+//! The paper's closing sections point to its companion work (Xu & Hwang,
+//! "Early Prediction of MPP Performance") where the fitted communication
+//! models feed SPMD speedup prediction. This module supplies that layer:
+//! classical speedup/efficiency metrics over measured or predicted
+//! runtime curves, fixed-workload (Amdahl) and fixed-time projections,
+//! and the knee-finding the trade-off studies need.
+
+/// A runtime curve: `(p, time_us)` samples of one workload, sorted by
+/// ascending `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCurve {
+    points: Vec<(usize, f64)>,
+}
+
+impl ScalingCurve {
+    /// Builds a curve from samples; sorts by `p` and drops non-positive
+    /// times.
+    pub fn new(samples: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let mut points: Vec<(usize, f64)> = samples
+            .into_iter()
+            .filter(|&(p, t)| p > 0 && t > 0.0)
+            .collect();
+        points.sort_unstable_by_key(|&(p, _)| p);
+        points.dedup_by_key(|&mut (p, _)| p);
+        ScalingCurve { points }
+    }
+
+    /// The samples, ascending in `p`.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// Runtime at the smallest measured `p` (the speedup baseline),
+    /// normalized to one node by assuming linear scaling below the first
+    /// sample — i.e. `t(1) ≈ t(p_min) · p_min`.
+    ///
+    /// Returns `None` for an empty curve.
+    pub fn baseline_us(&self) -> Option<f64> {
+        self.points.first().map(|&(p, t)| t * p as f64)
+    }
+
+    /// Speedup series `S(p) = t(1) / t(p)`.
+    pub fn speedup(&self) -> Vec<(usize, f64)> {
+        let Some(t1) = self.baseline_us() else {
+            return Vec::new();
+        };
+        self.points.iter().map(|&(p, t)| (p, t1 / t)).collect()
+    }
+
+    /// Efficiency series `E(p) = S(p) / p`, in `(0, 1]` for sublinear
+    /// scaling.
+    pub fn efficiency(&self) -> Vec<(usize, f64)> {
+        self.speedup()
+            .into_iter()
+            .map(|(p, s)| (p, s / p as f64))
+            .collect()
+    }
+
+    /// The machine size with the smallest runtime.
+    ///
+    /// Returns `None` for an empty curve.
+    pub fn fastest(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(p, _)| p)
+    }
+
+    /// The largest size that keeps efficiency at or above `floor` — the
+    /// economic operating point ("don't burn nodes below 50% efficiency").
+    ///
+    /// Returns `None` when no size qualifies.
+    pub fn largest_efficient(&self, floor: f64) -> Option<usize> {
+        self.efficiency()
+            .into_iter()
+            .filter(|&(_, e)| e >= floor)
+            .map(|(p, _)| p)
+            .max()
+    }
+}
+
+/// Isoefficiency: the per-pair message length `m` at which a workload
+/// with `compute_us_per_node(m, p)` local work and a collective costed
+/// by `comm` maintains parallel efficiency `target` on `p` nodes —
+/// found by bisection on `m`. Growing `m*(p)` curves quantify how fast
+/// the problem must grow to keep a machine busy (Grama/Gupta/Kumar),
+/// the quantitative form of the paper's computation/communication
+/// trade-off advice.
+///
+/// Efficiency here is `compute / (compute + comm)`. Returns `None` when
+/// even the largest probed message (1 GB) cannot reach the target.
+///
+/// # Panics
+///
+/// Panics if `target` is outside `(0, 1)` or `p == 0`.
+pub fn isoefficiency_m(
+    comm: &crate::formula::TimingFormula,
+    compute_us_per_node: impl Fn(u32, usize) -> f64,
+    p: usize,
+    target: f64,
+) -> Option<u32> {
+    assert!(target > 0.0 && target < 1.0, "target efficiency in (0,1)");
+    assert!(p > 0, "at least one node");
+    let eff = |m: u32| {
+        let work = compute_us_per_node(m, p);
+        let overhead = comm.predict_us(m, p);
+        work / (work + overhead)
+    };
+    let (mut lo, mut hi) = (1u32, 1 << 30);
+    if eff(hi) < target {
+        return None;
+    }
+    if eff(lo) >= target {
+        return Some(lo);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eff(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Amdahl's-law speedup for serial fraction `f` on `p` processors.
+///
+/// # Panics
+///
+/// Panics if `f` is outside `[0, 1]` or `p == 0`.
+pub fn amdahl_speedup(f: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "serial fraction in [0,1]");
+    assert!(p > 0, "at least one processor");
+    1.0 / (f + (1.0 - f) / p as f64)
+}
+
+/// Fits the serial fraction that best explains a measured speedup point
+/// (the "experimental serial fraction" of Karp–Flatt).
+///
+/// Returns `None` for `p < 2` or non-positive speedup.
+pub fn karp_flatt(speedup: f64, p: usize) -> Option<f64> {
+    if p < 2 || speedup <= 0.0 {
+        return None;
+    }
+    let pf = p as f64;
+    Some(((1.0 / speedup) - 1.0 / pf) / (1.0 - 1.0 / pf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_scaling_has_unit_efficiency() {
+        let c = ScalingCurve::new((0..6).map(|i| {
+            let p = 1usize << i;
+            (p, 1000.0 / p as f64)
+        }));
+        for (p, s) in c.speedup() {
+            assert!((s - p as f64).abs() < 1e-9);
+        }
+        for (_, e) in c.efficiency() {
+            assert!((e - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(c.fastest(), Some(32));
+        assert_eq!(c.largest_efficient(0.99), Some(32));
+    }
+
+    #[test]
+    fn saturating_curve_finds_knee() {
+        // t(p) = 1000/p + 50p: U-shaped with minimum near sqrt(20)≈4.5.
+        let c = ScalingCurve::new([1usize, 2, 4, 8, 16].map(|p| {
+            (p, 1000.0 / p as f64 + 50.0 * p as f64)
+        }));
+        assert_eq!(c.fastest(), Some(4));
+        // Efficiency decays: largest ≥50% point is well below 16.
+        let cutoff = c.largest_efficient(0.5).unwrap();
+        assert!(cutoff <= 8, "cutoff {cutoff}");
+    }
+
+    #[test]
+    fn baseline_extrapolates_from_first_sample() {
+        let c = ScalingCurve::new([(4usize, 250.0), (8, 125.0)]);
+        assert_eq!(c.baseline_us(), Some(1000.0));
+        let s = c.speedup();
+        assert!((s[0].1 - 4.0).abs() < 1e-12, "first point assumed linear");
+        assert!(ScalingCurve::new(std::iter::empty()).baseline_us().is_none());
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl_speedup(0.0, 64) - 64.0).abs() < 1e-12);
+        assert!((amdahl_speedup(1.0, 64) - 1.0).abs() < 1e-12);
+        let s = amdahl_speedup(0.05, 1_000_000);
+        assert!(s < 20.0 + 1e-6, "5% serial caps speedup at 20: {s}");
+    }
+
+    #[test]
+    fn karp_flatt_recovers_amdahl_fraction() {
+        for f in [0.01, 0.1, 0.3] {
+            for p in [4usize, 16, 64] {
+                let s = amdahl_speedup(f, p);
+                let est = karp_flatt(s, p).unwrap();
+                assert!((est - f).abs() < 1e-9, "f={f} p={p}: {est}");
+            }
+        }
+        assert!(karp_flatt(2.0, 1).is_none());
+        assert!(karp_flatt(-1.0, 8).is_none());
+    }
+
+    #[test]
+    fn isoefficiency_grows_with_machine_size() {
+        use crate::formula::{Growth, Term, TimingFormula};
+        // Startup-dominated communication (O(p) startup, light per-byte)
+        // against O(m) local work: the message must grow with p to keep
+        // amortizing the startup, so m*(p) increases.
+        let comm = TimingFormula::new(
+            Term::new(Growth::Linear, 25.0, 10.0),
+            Term::new(Growth::Linear, 0.0, 0.001), // 1 ns/B
+        );
+        let work = |m: u32, _p: usize| f64::from(m) * 0.01; // 10 ns/B compute
+        let m8 = isoefficiency_m(&comm, work, 8, 0.8).unwrap();
+        let m64 = isoefficiency_m(&comm, work, 64, 0.8).unwrap();
+        assert!(m64 > m8, "m*(64)={m64} vs m*(8)={m8}");
+        // And the found point actually achieves the target, minimally.
+        let eff = |m: u32, p: usize| {
+            let w = work(m, p);
+            w / (w + comm.predict_us(m, p))
+        };
+        assert!(eff(m64, 64) >= 0.8);
+        assert!(eff(m64 - 1, 64) < 0.8, "minimality");
+    }
+
+    #[test]
+    fn isoefficiency_unreachable_is_none() {
+        use crate::formula::{Growth, Term, TimingFormula};
+        // Per-byte communication cost exceeding per-byte compute: no m
+        // reaches 90% efficiency.
+        let comm = TimingFormula::new(
+            Term::ZERO,
+            Term::new(Growth::Linear, 0.0, 1.0), // 1 us/B comm
+        );
+        let work = |m: u32, _p: usize| f64::from(m) * 0.1; // 0.1 us/B compute
+        assert!(isoefficiency_m(&comm, work, 16, 0.9).is_none());
+    }
+
+    #[test]
+    fn curve_cleans_input() {
+        let c = ScalingCurve::new([(8usize, 10.0), (2, 40.0), (0, 5.0), (4, -1.0), (2, 99.0)]);
+        assert_eq!(c.points(), &[(2, 40.0), (8, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn bad_fraction_panics() {
+        amdahl_speedup(1.5, 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Fitting the full `T(m, p)` surface of one operation on one machine,
+//! mirroring the paper's §3 procedure:
+//!
+//! 1. approximate `T0(p)` by the shortest-message timing at each `p`;
+//! 2. for each `p`, extract the per-byte slope of `T` vs `m` by linear
+//!    regression;
+//! 3. fit both series against `a·p + b` and `a·log2 p + b`, keeping the
+//!    better basis.
+
+use crate::fit::linear_fit;
+use crate::formula::{fit_term, Term, TimingFormula};
+use harness::Dataset;
+use mpisim::OpClass;
+
+/// Why a surface fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No measurements for the requested (machine, op).
+    NoData,
+    /// Too few distinct machine sizes to fit a growth term.
+    TooFewSizes {
+        /// Distinct sizes found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NoData => write!(f, "no measurements to fit"),
+            FitError::TooFewSizes { found } => {
+                write!(f, "need at least 2 distinct machine sizes, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits the Table-3 formula for `op` on `machine` from `data`.
+///
+/// Operations without a message-length dimension (barrier) get a zero
+/// per-byte term.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when the dataset lacks the needed grid points.
+pub fn fit_surface(
+    data: &Dataset,
+    machine: &str,
+    op: OpClass,
+) -> Result<TimingFormula, FitError> {
+    let grid = data.grid(machine, op);
+    if grid.is_empty() {
+        return Err(FitError::NoData);
+    }
+    let mut sizes: Vec<usize> = grid.iter().map(|&(_, p, _)| p).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    if sizes.len() < 2 {
+        return Err(FitError::TooFewSizes { found: sizes.len() });
+    }
+
+    // Step 1: T0(p) ~ the shortest-message timing at each p.
+    let min_m = grid.iter().map(|&(m, _, _)| m).min().expect("non-empty");
+    let t0_series: Vec<(usize, f64)> = sizes
+        .iter()
+        .filter_map(|&p| {
+            grid.iter()
+                .find(|&&(m, gp, _)| m == min_m && gp == p)
+                .map(|&(_, _, t)| (p, t))
+        })
+        .collect();
+    let startup = fit_term(&t0_series).ok_or(FitError::TooFewSizes {
+        found: t0_series.len(),
+    })?;
+
+    // Step 2: per-byte slope at each p over the m dimension.
+    let mut slope_series: Vec<(usize, f64)> = Vec::new();
+    for &p in &sizes {
+        let pts: Vec<(f64, f64)> = grid
+            .iter()
+            .filter(|&&(_, gp, _)| gp == p)
+            .map(|&(m, _, t)| (f64::from(m), t))
+            .collect();
+        if let Some(f) = linear_fit(&pts) {
+            slope_series.push((p, f.slope));
+        }
+    }
+
+    // Step 3: fit the per-byte series over p (zero when the operation has
+    // no m dimension, e.g. barrier).
+    let per_byte = if slope_series.len() < 2 {
+        Term::ZERO
+    } else {
+        fit_term(&slope_series).unwrap_or(Term::ZERO)
+    };
+
+    Ok(TimingFormula::new(startup, per_byte))
+}
+
+/// Fits Table-3 formulas for every (machine, op) pair present in `data`.
+/// Pairs that cannot be fitted are skipped.
+pub fn fit_all(data: &Dataset) -> Vec<(String, OpClass, TimingFormula)> {
+    let mut out = Vec::new();
+    for machine in data.machines() {
+        for op in data.ops() {
+            if let Ok(f) = fit_surface(data, &machine, op) {
+                out.push((machine.clone(), op, f));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Growth;
+    use harness::Measurement;
+
+    /// A synthetic dataset following an exact formula.
+    fn synthetic(
+        machine: &str,
+        op: OpClass,
+        t0: impl Fn(usize) -> f64,
+        slope: impl Fn(usize) -> f64,
+    ) -> Dataset {
+        let mut d = Dataset::new();
+        for &p in &[2usize, 4, 8, 16, 32, 64] {
+            for &m in &[4u32, 64, 1024, 16384, 65536] {
+                let t = t0(p) + slope(p) * f64::from(m);
+                d.push(Measurement {
+                    machine: machine.into(),
+                    op,
+                    bytes: m,
+                    nodes: p,
+                    time_us: t,
+                    min_time_us: t,
+                    mean_time_us: t,
+                    per_repetition_us: vec![t],
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_linear_surface() {
+        // Scatter-like: T = (5.8p + 77) + (0.039p + 0.1)m
+        let d = synthetic(
+            "X",
+            OpClass::Scatter,
+            |p| 5.8 * p as f64 + 77.0,
+            |p| 0.039 * p as f64 + 0.1,
+        );
+        let f = fit_surface(&d, "X", OpClass::Scatter).unwrap();
+        assert_eq!(f.startup.growth, Growth::Linear);
+        // T0 is approximated by the m = 4 timings (the paper's method),
+        // so the fitted coefficient absorbs 4·(per-byte slope).
+        assert!((f.startup.coeff - (5.8 + 4.0 * 0.039)).abs() < 0.01, "{:?}", f.startup);
+        assert_eq!(f.per_byte.growth, Growth::Linear);
+        assert!((f.per_byte.coeff - 0.039).abs() < 0.001);
+        // Prediction error small across the grid.
+        let pred = f.predict_us(1024, 32);
+        let truth = (5.8 * 32.0 + 77.0) + (0.039 * 32.0 + 0.1) * 1024.0;
+        assert!((pred - truth).abs() / truth < 0.05);
+    }
+
+    #[test]
+    fn recovers_logarithmic_surface() {
+        // Bcast-like: T = (55 log p + 30) + (0.014 log p + 0.053)m
+        let d = synthetic(
+            "X",
+            OpClass::Bcast,
+            |p| 55.0 * (p as f64).log2() + 30.0,
+            |p| 0.014 * (p as f64).log2() + 0.053,
+        );
+        let f = fit_surface(&d, "X", OpClass::Bcast).unwrap();
+        assert_eq!(f.startup.growth, Growth::Logarithmic);
+        assert!((f.startup.coeff - 55.0).abs() < 1.5);
+        assert_eq!(f.per_byte.growth, Growth::Logarithmic);
+    }
+
+    #[test]
+    fn barrier_gets_zero_per_byte() {
+        let mut d = Dataset::new();
+        for &p in &[2usize, 4, 8, 16] {
+            d.push(Measurement {
+                machine: "X".into(),
+                op: OpClass::Barrier,
+                bytes: 0,
+                nodes: p,
+                time_us: 123.0 * (p as f64).log2() - 90.0,
+                min_time_us: 0.0,
+                mean_time_us: 0.0,
+                per_repetition_us: vec![],
+            });
+        }
+        let f = fit_surface(&d, "X", OpClass::Barrier).unwrap();
+        assert!(f.per_byte.is_zero());
+        assert_eq!(f.startup.growth, Growth::Logarithmic);
+        assert!((f.startup.coeff - 123.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_on_missing_or_thin_data() {
+        let d = Dataset::new();
+        assert_eq!(fit_surface(&d, "X", OpClass::Bcast), Err(FitError::NoData));
+
+        let mut d = Dataset::new();
+        d.push(Measurement {
+            machine: "X".into(),
+            op: OpClass::Bcast,
+            bytes: 4,
+            nodes: 8,
+            time_us: 1.0,
+            min_time_us: 1.0,
+            mean_time_us: 1.0,
+            per_repetition_us: vec![],
+        });
+        assert_eq!(
+            fit_surface(&d, "X", OpClass::Bcast),
+            Err(FitError::TooFewSizes { found: 1 })
+        );
+    }
+
+    #[test]
+    fn fit_all_covers_pairs() {
+        let mut d = synthetic("A", OpClass::Bcast, |p| p as f64, |_| 0.01);
+        d.extend(synthetic("B", OpClass::Gather, |p| 2.0 * p as f64, |_| 0.02));
+        let fits = fit_all(&d);
+        assert_eq!(fits.len(), 2);
+        assert!(fits.iter().any(|(m, op, _)| m == "A" && *op == OpClass::Bcast));
+    }
+}

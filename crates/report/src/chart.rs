@@ -1,0 +1,194 @@
+//! ASCII log-log line charts, used to render the paper's figures in a
+//! terminal.
+//!
+//! Each figure of the paper is a log-scale plot of time against machine
+//! size or message length, with one curve per machine. [`LogChart`]
+//! reproduces that: logarithmic X and Y, one plot symbol per series,
+//! collisions shown as `*`.
+
+/// A named data series: `(x, y)` points, both positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot symbol.
+    pub symbol: char,
+    /// Data points (must be positive for log scaling).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label, symbol, and points. Non-positive
+    /// points are dropped (cannot appear on a log scale).
+    pub fn new(label: impl Into<String>, symbol: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            symbol,
+            points: points
+                .into_iter()
+                .filter(|&(x, y)| x > 0.0 && y > 0.0)
+                .collect(),
+        }
+    }
+}
+
+/// An ASCII chart with logarithmic axes.
+#[derive(Debug, Clone)]
+pub struct LogChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl LogChart {
+    /// Creates a chart with the given title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LogChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 60,
+            height: 20,
+            series: Vec::new(),
+        }
+    }
+
+    /// Overrides the plot area size (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "chart too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a series (builder style).
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart. Returns a note when no plottable data exists.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n  (no data)\n", self.title);
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        let (lx0, lx1) = (x0.log10(), (x1.max(x0 * 1.0001)).log10());
+        let (ly0, ly1) = (y0.log10(), (y1.max(y0 * 1.0001)).log10());
+        let xs = |x: f64| -> usize {
+            let f = (x.log10() - lx0) / (lx1 - lx0);
+            ((f * (self.width - 1) as f64).round() as usize).min(self.width - 1)
+        };
+        let ys = |y: f64| -> usize {
+            let f = (y.log10() - ly0) / (ly1 - ly0);
+            let row = (f * (self.height - 1) as f64).round() as usize;
+            (self.height - 1) - row.min(self.height - 1)
+        };
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let (c, r) = (xs(x), ys(y));
+                let cell = &mut canvas[r][c];
+                *cell = if *cell == ' ' || *cell == s.symbol {
+                    s.symbol
+                } else {
+                    '*'
+                };
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{}={}", s.symbol, s.label))
+            .collect();
+        out.push_str(&format!("  [{}]   y: {}\n", legend.join(" "), self.y_label));
+        out.push_str(&format!("  {:>9.3} +{}\n", y1, "-".repeat(self.width)));
+        for (i, row) in canvas.iter().enumerate() {
+            let label = if i == self.height - 1 {
+                format!("{y0:>9.3}")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("  {} |{}\n", label, row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "  {:>9} +{}\n  {:>9} {:<w$}{:>}\n",
+            "",
+            "-".repeat(self.width),
+            "",
+            format!("{x0}"),
+            format!("{x1}  ({})", self.x_label),
+            w = self.width / 2,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_symbols_and_legend() {
+        let c = LogChart::new("Fig X", "p", "us")
+            .series(Series::new("SP2", 'o', vec![(2.0, 10.0), (64.0, 400.0)]))
+            .series(Series::new("T3D", '^', vec![(2.0, 5.0), (64.0, 100.0)]));
+        let r = c.render();
+        assert!(r.contains("Fig X"));
+        assert!(r.contains("o=SP2"));
+        assert!(r.contains('^'));
+        assert!(r.lines().count() > 20);
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let r = LogChart::new("Empty", "x", "y").render();
+        assert!(r.contains("(no data)"));
+    }
+
+    #[test]
+    fn nonpositive_points_dropped() {
+        let s = Series::new("bad", 'x', vec![(0.0, 1.0), (1.0, -2.0), (2.0, 3.0)]);
+        assert_eq!(s.points, vec![(2.0, 3.0)]);
+    }
+
+    #[test]
+    fn collisions_marked() {
+        let c = LogChart::new("T", "x", "y")
+            .series(Series::new("a", 'a', vec![(10.0, 10.0)]))
+            .series(Series::new("b", 'b', vec![(10.0, 10.0)]));
+        assert!(c.render().contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_panics() {
+        let _ = LogChart::new("T", "x", "y").size(2, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal CSV emission (RFC-4180 quoting) for measurement datasets.
+
+/// Escapes one CSV field per RFC 4180.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows of fields as CSV text (with trailing newline).
+pub fn render<R, F>(rows: R) -> String
+where
+    R: IntoIterator<Item = F>,
+    F: IntoIterator<Item = String>,
+{
+    let mut out = String::new();
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().map(|c| escape(&c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV for a [`harness::Dataset`] in the dataset interchange format
+/// (delegates to [`harness::Dataset::to_csv`], which round-trips via
+/// [`harness::Dataset::from_csv`]).
+pub fn dataset_csv(data: &harness::Dataset) -> String {
+    data.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(escape("hello"), "hello");
+        assert_eq!(escape("12.5"), "12.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn render_rows() {
+        let csv = render(vec![
+            vec!["a".to_string(), "b,c".to_string()],
+            vec!["1".to_string(), "2".to_string()],
+        ]);
+        assert_eq!(csv, "a,\"b,c\"\n1,2\n");
+    }
+
+    #[test]
+    fn dataset_round_trip_shape() {
+        let mut data = harness::Dataset::new();
+        data.push(harness::Measurement {
+            machine: "Cray T3D".into(),
+            op: mpisim::OpClass::Alltoall,
+            bytes: 64,
+            nodes: 8,
+            time_us: 123.456,
+            min_time_us: 100.0,
+            mean_time_us: 110.0,
+            per_repetition_us: vec![123.456],
+        });
+        let csv = dataset_csv(&data);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "machine,operation,bytes,nodes,time_us,min_time_us,mean_time_us"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "Cray T3D,Total Exchange,64,8,123.456,100.000,110.000"
+        );
+    }
+}

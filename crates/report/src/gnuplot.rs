@@ -1,0 +1,122 @@
+//! Gnuplot script emission.
+//!
+//! The ASCII charts are self-contained but coarse; this module emits a
+//! standalone gnuplot script (data inlined via heredocs) reproducing a
+//! figure as the paper printed it — log-log axes, one labeled curve per
+//! machine. Feed it to `gnuplot -persist` or render to SVG/PNG.
+
+use crate::chart::Series;
+
+/// A gnuplot figure: titled log-log plot of named series.
+#[derive(Debug, Clone)]
+pub struct GnuplotFigure {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl GnuplotFigure {
+    /// Creates a figure with the given title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        GnuplotFigure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style). Non-positive points were already
+    /// dropped by [`Series::new`].
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the complete gnuplot script.
+    pub fn render(&self) -> String {
+        let esc = |s: &str| s.replace('"', "'");
+        let mut out = String::new();
+        out.push_str("#!/usr/bin/env gnuplot\n");
+        out.push_str(&format!("set title \"{}\"\n", esc(&self.title)));
+        out.push_str(&format!("set xlabel \"{}\"\n", esc(&self.x_label)));
+        out.push_str(&format!("set ylabel \"{}\"\n", esc(&self.y_label)));
+        out.push_str("set logscale xy\nset grid\nset key left top\n");
+        if self.series.iter().all(|s| s.points.is_empty()) {
+            out.push_str("# (no data)\n");
+            return out;
+        }
+        let plots: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.points.is_empty())
+            .map(|(i, s)| {
+                format!(
+                    "$data{i} with linespoints title \"{}\"",
+                    esc(&s.label)
+                )
+            })
+            .collect();
+        for (i, s) in self.series.iter().enumerate() {
+            if s.points.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("$data{i} << EOD\n"));
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{x} {y}\n"));
+            }
+            out.push_str("EOD\n");
+        }
+        out.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_has_data_and_plot() {
+        let fig = GnuplotFigure::new("Fig 1 (Broadcast)", "p", "T0 (us)")
+            .series(Series::new("SP2", 'o', vec![(2.0, 85.0), (64.0, 360.0)]))
+            .series(Series::new("T3D", '^', vec![(2.0, 35.0), (64.0, 150.0)]));
+        let s = fig.render();
+        assert!(s.contains("set logscale xy"));
+        assert!(s.contains("$data0 << EOD"));
+        assert!(s.contains("2 85\n"));
+        assert!(s.contains("title \"T3D\""));
+        assert!(s.contains("plot $data0"));
+    }
+
+    #[test]
+    fn empty_figure_is_commented() {
+        let s = GnuplotFigure::new("E", "x", "y").render();
+        assert!(s.contains("# (no data)"));
+        assert!(!s.contains("plot "));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let s = GnuplotFigure::new("say \"hi\"", "x", "y")
+            .series(Series::new("a\"b", 'a', vec![(1.0, 1.0)]))
+            .render();
+        assert!(s.contains("say 'hi'"));
+        assert!(s.contains("a'b"));
+    }
+
+    #[test]
+    fn nonpositive_points_already_filtered() {
+        let fig = GnuplotFigure::new("T", "x", "y")
+            .series(Series::new("a", 'a', vec![(0.0, 5.0), (3.0, 4.0)]));
+        let s = fig.render();
+        assert!(!s.contains("0 5"));
+        assert!(s.contains("3 4"));
+    }
+}

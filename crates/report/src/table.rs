@@ -1,0 +1,169 @@
+//! Column-aligned plain-text tables.
+
+/// A simple text table builder with left-aligned first column and
+/// right-aligned value columns.
+///
+/// # Examples
+///
+/// ```
+/// use report::table::Table;
+///
+/// let t = Table::new(["Operation", "SP2", "T3D"])
+///     .row(["Barrier", "648", "3.07"])
+///     .render();
+/// assert!(t.contains("Barrier"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (builder style). Rows shorter than the header are
+    /// padded with empty cells; longer rows are truncated.
+    pub fn row<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push_row(cells);
+        self
+    }
+
+    /// Appends a row in place.
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = width[i].saturating_sub(c.chars().count());
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let t = Table::new(["Op", "Value"])
+            .row(["Broadcast", "1"])
+            .row(["X", "12345"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numbers share their last column.
+        let c1 = lines[2].rfind('1').unwrap();
+        let c2 = lines[3].rfind('5').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let t = Table::new(["A", "B"]).row(["only"]).row(["x", "y"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let r = t.render();
+        assert!(r.contains("only"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = Table::new(["A", "B"]).row(["1", "2"]).render_markdown();
+        assert!(md.starts_with("| A | B |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let r = Table::new(["H"]).render();
+        assert!(r.contains('H'));
+        assert_eq!(r.lines().count(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! ASCII message timelines: one lane per rank, time flowing right.
+//!
+//! Renders the message trace of a collective execution the way one
+//! would sketch it on a whiteboard — `>` where a rank posts a send,
+//! `<` where a payload lands, `*` where both coincide — making tree
+//! shapes, root serialization, and pipelining visible at a glance.
+
+/// One message to draw: lanes and instants (any monotone unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineMessage {
+    /// Sender lane.
+    pub src: usize,
+    /// Receiver lane.
+    pub dst: usize,
+    /// Posting instant.
+    pub posted: f64,
+    /// Delivery instant.
+    pub delivered: f64,
+}
+
+/// An ASCII timeline of `lanes` ranks over a fixed-width time axis.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    title: String,
+    lanes: usize,
+    width: usize,
+    messages: Vec<TimelineMessage>,
+}
+
+impl Timeline {
+    /// Creates a timeline with `lanes` rank rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(title: impl Into<String>, lanes: usize) -> Self {
+        assert!(lanes > 0, "at least one lane");
+        Timeline {
+            title: title.into(),
+            lanes,
+            width: 72,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Overrides the time-axis width in characters (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 16`.
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width >= 16, "timeline too narrow");
+        self.width = width;
+        self
+    }
+
+    /// Adds one message (builder style). Messages naming lanes outside
+    /// the timeline or with reversed instants are ignored.
+    pub fn message(mut self, m: TimelineMessage) -> Self {
+        if m.src < self.lanes && m.dst < self.lanes && m.delivered >= m.posted {
+            self.messages.push(m);
+        }
+        self
+    }
+
+    /// Adds many messages (builder style).
+    pub fn messages(mut self, ms: impl IntoIterator<Item = TimelineMessage>) -> Self {
+        for m in ms {
+            self = self.message(m);
+        }
+        self
+    }
+
+    /// Renders the timeline.
+    pub fn render(&self) -> String {
+        if self.messages.is_empty() {
+            return format!("{}\n  (no messages)\n", self.title);
+        }
+        let t0 = self
+            .messages
+            .iter()
+            .map(|m| m.posted)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self
+            .messages
+            .iter()
+            .map(|m| m.delivered)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(t0 + 1e-9);
+        let col = |t: f64| -> usize {
+            let f = (t - t0) / (t1 - t0);
+            ((f * (self.width - 1) as f64).round() as usize).min(self.width - 1)
+        };
+        let mut canvas = vec![vec![' '; self.width]; self.lanes];
+        let mut put = |lane: usize, c: usize, ch: char| {
+            let cell = &mut canvas[lane][c];
+            *cell = if *cell == ' ' || *cell == ch { ch } else { '*' };
+        };
+        for m in &self.messages {
+            put(m.src, col(m.posted), '>');
+            put(m.dst, col(m.delivered), '<');
+        }
+        let mut out = format!("{}\n", self.title);
+        out.push_str(&format!(
+            "  time: {t0:.1} .. {t1:.1} us   ('>' send posted, '<' delivery, '*' both)\n"
+        ));
+        for (lane, row) in canvas.iter().enumerate() {
+            out.push_str(&format!(
+                "  r{lane:<3} |{}|\n",
+                row.iter().collect::<String>()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, dst: usize, posted: f64, delivered: f64) -> TimelineMessage {
+        TimelineMessage {
+            src,
+            dst,
+            posted,
+            delivered,
+        }
+    }
+
+    #[test]
+    fn renders_send_and_delivery_marks() {
+        let t = Timeline::new("bcast", 4)
+            .message(msg(0, 2, 0.0, 50.0))
+            .message(msg(0, 1, 10.0, 60.0))
+            .message(msg(2, 3, 55.0, 100.0));
+        let r = t.render();
+        assert!(r.contains("bcast"));
+        assert!(r.lines().count() == 6, "{r}");
+        // Rank 0 has two send marks; rank 3 a delivery at the right edge.
+        let lane0 = r.lines().nth(2).unwrap();
+        assert_eq!(lane0.matches('>').count(), 2, "{lane0}");
+        let lane3 = r.lines().nth(5).unwrap();
+        assert!(lane3.trim_end().ends_with("<|"), "{lane3}");
+    }
+
+    #[test]
+    fn invalid_messages_ignored() {
+        let t = Timeline::new("x", 2)
+            .message(msg(0, 9, 0.0, 1.0)) // lane out of range
+            .message(msg(0, 1, 5.0, 1.0)); // reversed
+        assert!(t.render().contains("(no messages)"));
+    }
+
+    #[test]
+    fn collisions_become_stars() {
+        let t = Timeline::new("x", 2)
+            .message(msg(0, 1, 0.0, 10.0))
+            .message(msg(1, 0, 0.0, 10.0));
+        // Lane 0: '>' at t=0 and '<' at t=10; lane 1 the mirror image.
+        let r = t.render();
+        assert!(r.contains('>') && r.contains('<'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        Timeline::new("x", 0);
+    }
+}

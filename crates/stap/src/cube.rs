@@ -1,0 +1,138 @@
+//! The radar data cube and its decomposition.
+//!
+//! STAP operates on a coherent processing interval (CPI) organized as a
+//! three-dimensional cube: range gates × pulses × antenna channels of
+//! complex samples. The SPMD decompositions the paper's experiments used
+//! slice the cube along one axis per pipeline phase; moving between
+//! phases re-slices it — the corner turn.
+
+/// A radar data cube (one coherent processing interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataCube {
+    /// Number of range gates (fast-time samples).
+    pub range_gates: u64,
+    /// Number of pulses (slow-time samples).
+    pub pulses: u64,
+    /// Number of antenna channels.
+    pub channels: u64,
+    /// Bytes per complex sample (8 for complex f32).
+    pub bytes_per_sample: u64,
+}
+
+impl DataCube {
+    /// A medium CPI typical of the mid-1990s STAP benchmarks: 1024 range
+    /// gates, 128 pulses, 16 channels of complex f32.
+    pub fn medium() -> Self {
+        DataCube {
+            range_gates: 1_024,
+            pulses: 128,
+            channels: 16,
+            bytes_per_sample: 8,
+        }
+    }
+
+    /// A small CPI for fast tests.
+    pub fn small() -> Self {
+        DataCube {
+            range_gates: 256,
+            pulses: 32,
+            channels: 4,
+            bytes_per_sample: 8,
+        }
+    }
+
+    /// Validates that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Names the zero dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("range_gates", self.range_gates),
+            ("pulses", self.pulses),
+            ("channels", self.channels),
+            ("bytes_per_sample", self.bytes_per_sample),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total complex samples in the cube.
+    pub fn samples(&self) -> u64 {
+        self.range_gates * self.pulses * self.channels
+    }
+
+    /// Total bytes in the cube.
+    pub fn bytes(&self) -> u64 {
+        self.samples() * self.bytes_per_sample
+    }
+
+    /// Pairwise message size of a corner turn over `p` nodes: each node
+    /// re-slices its `1/p` share into `p` pieces. Floored at 4 bytes
+    /// (one MPI_FLOAT, as the paper's smallest message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn corner_turn_block(&self, p: usize) -> u32 {
+        assert!(p > 0, "node count must be positive");
+        let p = p as u64;
+        (self.bytes() / (p * p)).max(4) as u32
+    }
+
+    /// Bytes of one steering-weight set (one vector per channel).
+    pub fn weight_bytes(&self) -> u32 {
+        (self.channels * self.pulses * self.bytes_per_sample) as u32
+    }
+
+    /// Bytes of a per-node detection report vector.
+    pub fn report_bytes(&self) -> u32 {
+        (self.range_gates * 4) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_cube_dimensions() {
+        let c = DataCube::medium();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.samples(), 1_024 * 128 * 16);
+        assert_eq!(c.bytes(), c.samples() * 8);
+        assert_eq!(c.bytes() / (1 << 20), 16, "16 MB cube");
+    }
+
+    #[test]
+    fn corner_turn_block_scaling() {
+        let c = DataCube::medium();
+        // Doubling p quarters the pairwise block.
+        assert_eq!(c.corner_turn_block(8), 4 * c.corner_turn_block(16));
+        // Tiny shares floor at one float.
+        let tiny = DataCube {
+            range_gates: 2,
+            pulses: 2,
+            channels: 1,
+            bytes_per_sample: 8,
+        };
+        assert_eq!(tiny.corner_turn_block(64), 4);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut c = DataCube::medium();
+        c.channels = 0;
+        let e = c.validate().unwrap_err();
+        assert!(e.contains("channels"));
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn zero_nodes_panics() {
+        DataCube::medium().corner_turn_block(0);
+    }
+}

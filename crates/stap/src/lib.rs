@@ -1,0 +1,31 @@
+//! # stap — the Space-Time Adaptive Processing workload
+//!
+//! The paper's timing data "are obtained from the STAP benchmark
+//! experiments jointly performed at the USC and HKU" for MIT Lincoln
+//! Laboratory (§1, §9). This crate models that workload on top of the
+//! collective simulator: a radar [`DataCube`] flows through the classic
+//! pipeline — Doppler filtering, a corner-turn total exchange, adaptive
+//! weight computation and broadcast, beamforming, CFAR detection, and a
+//! detection-report reduce — with compute stages costed at each node's
+//! sustained arithmetic rate and communication stages executed on the
+//! machine models.
+//!
+//! # Examples
+//!
+//! ```
+//! use stap::{DataCube, StapRun};
+//! use mpisim::Machine;
+//!
+//! let run = StapRun::execute(&Machine::t3d(), DataCube::small(), 8)?;
+//! println!("iteration: {:.1} ms, {:.0}% communication",
+//!          run.total_us() / 1000.0, 100.0 * run.comm_fraction());
+//! # Ok::<(), mpisim::SimMpiError>(())
+//! ```
+
+pub mod cube;
+pub mod pipeline;
+pub mod stages;
+
+pub use cube::DataCube;
+pub use pipeline::{best_partition, node_mflops, sustained_cpi_per_sec, StageTiming, StapRun};
+pub use stages::StapStage;

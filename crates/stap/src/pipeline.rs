@@ -1,0 +1,258 @@
+//! Executing a STAP iteration on a simulated machine.
+//!
+//! [`StapRun`] walks the pipeline stage by stage: compute stages are
+//! costed at the node's sustained arithmetic rate, communication stages
+//! run on the machine's collective simulator. The result is the
+//! per-stage timing breakdown the paper's trade-off methodology needs —
+//! how the computation/communication split moves as `p` grows.
+
+use crate::cube::DataCube;
+use crate::stages::StapStage;
+use mpisim::{Machine, MachineId, Rank, SimMpiError};
+
+/// Sustained per-node arithmetic rate in MFLOP/s (mid-1990s measured
+/// rates: POWER2 ≈ 260, i860 ≈ 75, Alpha 21064 ≈ 150).
+pub fn node_mflops(machine: &Machine) -> f64 {
+    match machine.id() {
+        Some(MachineId::Sp2) => 260.0,
+        Some(MachineId::Paragon) => 75.0,
+        Some(MachineId::T3d) => 150.0,
+        None => 100.0,
+    }
+}
+
+/// Timing of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: StapStage,
+    /// Local arithmetic time, microseconds (zero for collectives).
+    pub compute_us: f64,
+    /// Communication time, microseconds (zero for compute stages).
+    pub comm_us: f64,
+}
+
+impl StageTiming {
+    /// Total stage time, microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us + self.comm_us
+    }
+}
+
+/// A complete STAP iteration timing on one machine/partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StapRun {
+    /// Machine display name.
+    pub machine: String,
+    /// Partition size.
+    pub nodes: usize,
+    /// The cube processed.
+    pub cube: DataCube,
+    /// Per-stage breakdown, pipeline order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl StapRun {
+    /// Executes one STAP iteration of `cube` on `p` nodes of `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates communicator/collective failures, and rejects invalid
+    /// cubes as [`SimMpiError::InvalidSpec`].
+    pub fn execute(machine: &Machine, cube: DataCube, p: usize) -> Result<Self, SimMpiError> {
+        cube.validate().map_err(SimMpiError::InvalidSpec)?;
+        let comm = machine.communicator(p)?;
+        let mflops = node_mflops(machine);
+        let mut stages = Vec::with_capacity(StapStage::PIPELINE.len());
+        for stage in StapStage::PIPELINE {
+            let compute_us = stage.flops_per_node(&cube, p) / mflops;
+            let comm_us = match stage.message_bytes(&cube, p) {
+                Some(bytes) => {
+                    let outcome = match stage {
+                        StapStage::CornerTurn => comm.alltoall(bytes)?,
+                        StapStage::WeightBroadcast => comm.bcast(Rank(0), bytes)?,
+                        StapStage::ReportReduce => comm.reduce(Rank(0), bytes)?,
+                        _ => unreachable!("message_bytes is Some only for collectives"),
+                    };
+                    outcome.time().as_micros_f64()
+                }
+                None => 0.0,
+            };
+            stages.push(StageTiming {
+                stage,
+                compute_us,
+                comm_us,
+            });
+        }
+        Ok(StapRun {
+            machine: machine.name().to_string(),
+            nodes: p,
+            cube,
+            stages,
+        })
+    }
+
+    /// Total iteration time, microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.stages.iter().map(StageTiming::total_us).sum()
+    }
+
+    /// Total local arithmetic time, microseconds.
+    pub fn compute_us(&self) -> f64 {
+        self.stages.iter().map(|s| s.compute_us).sum()
+    }
+
+    /// Total communication time, microseconds.
+    pub fn comm_us(&self) -> f64 {
+        self.stages.iter().map(|s| s.comm_us).sum()
+    }
+
+    /// Fraction of the iteration spent communicating, in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_us();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.comm_us() / t
+        }
+    }
+
+    /// The stage consuming the most time.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the pipeline is non-empty by construction.
+    pub fn bottleneck(&self) -> &StageTiming {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.total_us().total_cmp(&b.total_us()))
+            .expect("pipeline is non-empty")
+    }
+}
+
+/// Sustained STAP throughput in CPIs per second when consecutive CPIs
+/// overlap: the front of the pipeline starts CPI *i+1* while the back
+/// still drains CPI *i*, so the steady-state rate is set by the slowest
+/// stage rather than the end-to-end latency.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn sustained_cpi_per_sec(
+    machine: &Machine,
+    cube: DataCube,
+    p: usize,
+) -> Result<f64, SimMpiError> {
+    let run = StapRun::execute(machine, cube, p)?;
+    let bottleneck_us = run.bottleneck().total_us();
+    Ok(1e6 / bottleneck_us)
+}
+
+/// Sweeps partition sizes and returns `(p, total_us)` plus the best size
+/// (smallest total). Sizes beyond the machine's maximum are skipped.
+///
+/// # Errors
+///
+/// Propagates the first execution failure.
+pub fn best_partition(
+    machine: &Machine,
+    cube: DataCube,
+    sizes: &[usize],
+) -> Result<(Vec<(usize, f64)>, usize), SimMpiError> {
+    let mut curve = Vec::new();
+    for &p in sizes {
+        if p == 0 || p > machine.spec().max_nodes {
+            continue;
+        }
+        let run = StapRun::execute(machine, cube, p)?;
+        curve.push((p, run.total_us()));
+    }
+    let best = curve
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(p, _)| p)
+        .unwrap_or(1);
+    Ok((curve, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_iteration_breakdown() {
+        let run = StapRun::execute(&Machine::t3d(), DataCube::small(), 8).unwrap();
+        assert_eq!(run.stages.len(), 7);
+        assert!(run.compute_us() > 0.0);
+        assert!(run.comm_us() > 0.0);
+        assert!((run.compute_us() + run.comm_us() - run.total_us()).abs() < 1e-9);
+        assert!(run.comm_fraction() > 0.0 && run.comm_fraction() < 1.0);
+    }
+
+    #[test]
+    fn compute_shrinks_comm_grows_with_p() {
+        let cube = DataCube::small();
+        let m = Machine::t3d();
+        let small = StapRun::execute(&m, cube, 4).unwrap();
+        let large = StapRun::execute(&m, cube, 32).unwrap();
+        assert!(large.compute_us() < small.compute_us());
+        assert!(large.comm_fraction() > small.comm_fraction());
+    }
+
+    #[test]
+    fn corner_turn_dominates_communication() {
+        let run = StapRun::execute(&Machine::sp2(), DataCube::medium(), 16).unwrap();
+        let ct = run
+            .stages
+            .iter()
+            .find(|s| s.stage == StapStage::CornerTurn)
+            .unwrap();
+        for s in &run.stages {
+            if s.stage.is_communication() && s.stage != StapStage::CornerTurn {
+                assert!(ct.comm_us > s.comm_us, "{:?}", s.stage);
+            }
+        }
+    }
+
+    #[test]
+    fn best_partition_sweep() {
+        let (curve, best) =
+            best_partition(&Machine::t3d(), DataCube::small(), &[2, 4, 8, 128]).unwrap();
+        assert_eq!(curve.len(), 3, "128 exceeds the T3D maximum");
+        assert!(curve.iter().any(|&(p, _)| p == best));
+    }
+
+    #[test]
+    fn invalid_cube_rejected() {
+        let mut cube = DataCube::small();
+        cube.pulses = 0;
+        assert!(StapRun::execute(&Machine::t3d(), cube, 4).is_err());
+    }
+
+    #[test]
+    fn sustained_rate_exceeds_latency_rate() {
+        // Overlapped CPIs complete faster than back-to-back latency-bound
+        // iterations: 1/bottleneck >= 1/total, strictly so when the
+        // pipeline has more than one non-trivial stage.
+        let cube = DataCube::small();
+        for machine in [Machine::sp2(), Machine::t3d()] {
+            let run = StapRun::execute(&machine, cube, 16).unwrap();
+            let latency_rate = 1e6 / run.total_us();
+            let sustained = sustained_cpi_per_sec(&machine, cube, 16).unwrap();
+            assert!(
+                sustained > latency_rate,
+                "{}: {sustained} vs {latency_rate}",
+                machine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn faster_machine_computes_faster() {
+        let cube = DataCube::small();
+        let sp2 = StapRun::execute(&Machine::sp2(), cube, 8).unwrap();
+        let paragon = StapRun::execute(&Machine::paragon(), cube, 8).unwrap();
+        // POWER2 nodes out-compute i860 nodes ~3.5x.
+        assert!(sp2.compute_us() < paragon.compute_us() / 2.0);
+    }
+}

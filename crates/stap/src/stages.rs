@@ -1,0 +1,176 @@
+//! The STAP pipeline stages.
+//!
+//! Each stage is either local arithmetic (costed in flops against the
+//! node's sustained rate) or a collective (executed on the simulator).
+//! The stage set follows the Lincoln Laboratory STAP benchmark structure
+//! the paper's experiments ran: Doppler filtering, a corner turn,
+//! adaptive weight computation and broadcast, beamforming, CFAR
+//! detection, and a report gather.
+
+use crate::cube::DataCube;
+
+/// One stage of the STAP pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StapStage {
+    /// Pulse-domain FFT filtering over each node's slice.
+    DopplerFilter,
+    /// Cube transpose across nodes (`MPI_Alltoall`).
+    CornerTurn,
+    /// Adaptive weight solve on the root node (sample covariance + QR).
+    WeightCompute,
+    /// Broadcast of the steering weights (`MPI_Bcast`).
+    WeightBroadcast,
+    /// Beamforming inner products over the local slice.
+    Beamform,
+    /// Constant-false-alarm-rate detection over local range cells.
+    CfarDetect,
+    /// Combine per-node detection reports (`MPI_Reduce`).
+    ReportReduce,
+}
+
+impl StapStage {
+    /// The canonical pipeline order.
+    pub const PIPELINE: [StapStage; 7] = [
+        StapStage::DopplerFilter,
+        StapStage::CornerTurn,
+        StapStage::WeightCompute,
+        StapStage::WeightBroadcast,
+        StapStage::Beamform,
+        StapStage::CfarDetect,
+        StapStage::ReportReduce,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StapStage::DopplerFilter => "Doppler filter",
+            StapStage::CornerTurn => "corner turn",
+            StapStage::WeightCompute => "weight compute",
+            StapStage::WeightBroadcast => "weight broadcast",
+            StapStage::Beamform => "beamform",
+            StapStage::CfarDetect => "CFAR detect",
+            StapStage::ReportReduce => "report reduce",
+        }
+    }
+
+    /// True for communication stages (costed on the simulator).
+    pub fn is_communication(self) -> bool {
+        matches!(
+            self,
+            StapStage::CornerTurn | StapStage::WeightBroadcast | StapStage::ReportReduce
+        )
+    }
+
+    /// Floating-point operations this stage performs **per node** for
+    /// `cube` distributed over `p` nodes. Zero for communication stages.
+    ///
+    /// Standard kernel counts: radix-2 FFT at `5·N·log2 N`, covariance
+    /// accumulation + QR at `O(channels² · pulses)` on the root,
+    /// beamforming at 8 flops per sample, CFAR at ~10 flops per range
+    /// cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn flops_per_node(self, cube: &DataCube, p: usize) -> f64 {
+        assert!(p > 0, "node count must be positive");
+        let p = p as f64;
+        match self {
+            StapStage::DopplerFilter => {
+                let lines = (cube.range_gates * cube.channels) as f64 / p;
+                let n = cube.pulses as f64;
+                lines * 5.0 * n * n.log2()
+            }
+            StapStage::WeightCompute => {
+                // Root-only: covariance + QR over the channel dimension.
+                let ch = cube.channels as f64;
+                4.0 * ch * ch * cube.pulses as f64 + (2.0 / 3.0) * ch * ch * ch
+            }
+            StapStage::Beamform => 8.0 * cube.samples() as f64 / p,
+            StapStage::CfarDetect => 10.0 * cube.range_gates as f64 * cube.pulses as f64 / p,
+            StapStage::CornerTurn | StapStage::WeightBroadcast | StapStage::ReportReduce => 0.0,
+        }
+    }
+
+    /// Pairwise message bytes of this stage's collective, or `None` for
+    /// compute stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn message_bytes(self, cube: &DataCube, p: usize) -> Option<u32> {
+        match self {
+            StapStage::CornerTurn => Some(cube.corner_turn_block(p)),
+            StapStage::WeightBroadcast => Some(cube.weight_bytes()),
+            StapStage::ReportReduce => Some(cube.report_bytes()),
+            _ => {
+                assert!(p > 0, "node count must be positive");
+                None
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StapStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_covers_compute_and_comm() {
+        let comm = StapStage::PIPELINE
+            .iter()
+            .filter(|s| s.is_communication())
+            .count();
+        assert_eq!(comm, 3);
+        assert_eq!(StapStage::PIPELINE.len(), 7);
+    }
+
+    #[test]
+    fn compute_scales_inversely_with_p() {
+        let cube = DataCube::medium();
+        let f4 = StapStage::DopplerFilter.flops_per_node(&cube, 4);
+        let f8 = StapStage::DopplerFilter.flops_per_node(&cube, 8);
+        assert!((f4 / f8 - 2.0).abs() < 1e-9);
+        // Weight compute is root-resident: independent of p.
+        let w4 = StapStage::WeightCompute.flops_per_node(&cube, 4);
+        let w64 = StapStage::WeightCompute.flops_per_node(&cube, 64);
+        assert_eq!(w4, w64);
+    }
+
+    #[test]
+    fn message_sizes_match_cube() {
+        let cube = DataCube::medium();
+        assert_eq!(
+            StapStage::CornerTurn.message_bytes(&cube, 16),
+            Some(cube.corner_turn_block(16))
+        );
+        assert_eq!(
+            StapStage::WeightBroadcast.message_bytes(&cube, 16),
+            Some(cube.weight_bytes())
+        );
+        assert_eq!(StapStage::Beamform.message_bytes(&cube, 16), None);
+    }
+
+    #[test]
+    fn communication_stages_have_no_flops() {
+        let cube = DataCube::small();
+        for s in StapStage::PIPELINE {
+            if s.is_communication() {
+                assert_eq!(s.flops_per_node(&cube, 8), 0.0, "{s}");
+            } else {
+                assert!(s.flops_per_node(&cube, 8) > 0.0, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StapStage::CornerTurn.to_string(), "corner turn");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the routing functions: for arbitrary
+//! topology shapes, every route must be connected, match the analytic
+//! distance, and stay within the diameter.
+
+use proptest::prelude::*;
+use topo::{assert_route_connected, Graph, Mesh2d, NodeId, Omega, Topology, Torus3d};
+
+/// Shortest distance along one torus dimension with wraparound.
+fn ring_dist(a: usize, b: usize, size: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(size - d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn torus_routes_are_connected_and_shortest(
+        dx in 1usize..=6,
+        dy in 1usize..=6,
+        dz in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let t = Torus3d::new(dx, dy, dz);
+        let n = t.nodes();
+        let s = NodeId((seed % n as u64) as usize);
+        let d = NodeId(((seed >> 16) % n as u64) as usize);
+        let r = t.route(s, d);
+        assert_route_connected(&r, s, d, |l| t.endpoints(l));
+        // Dimension-ordered routing achieves the Manhattan-with-wrap
+        // distance exactly.
+        let coord = |v: NodeId| (v.0 % dx, (v.0 / dx) % dy, v.0 / (dx * dy));
+        let (sx, sy, sz) = coord(s);
+        let (tx, ty, tz) = coord(d);
+        let dist = ring_dist(sx, tx, dx) + ring_dist(sy, ty, dy) + ring_dist(sz, tz, dz);
+        prop_assert_eq!(r.hops(), dist);
+    }
+
+    #[test]
+    fn mesh_routes_are_connected_and_manhattan(
+        cols in 1usize..=10,
+        rows in 1usize..=10,
+        seed in any::<u64>(),
+    ) {
+        let m = Mesh2d::new(cols, rows);
+        let n = m.nodes();
+        let s = NodeId((seed % n as u64) as usize);
+        let d = NodeId(((seed >> 16) % n as u64) as usize);
+        let r = m.route(s, d);
+        assert_route_connected(&r, s, d, |l| m.endpoints(l));
+        let manhattan = (s.0 % cols).abs_diff(d.0 % cols) + (s.0 / cols).abs_diff(d.0 / cols);
+        prop_assert_eq!(r.hops(), manhattan);
+    }
+
+    #[test]
+    fn omega_routes_terminate_and_have_uniform_length(
+        nodes in 2usize..=128,
+        radix in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let net = Omega::new(nodes, radix);
+        let s = NodeId((seed % nodes as u64) as usize);
+        let d = NodeId(((seed >> 16) % nodes as u64) as usize);
+        let trace = net.wire_trace(s, d);
+        prop_assert_eq!(trace[0], s.0);
+        prop_assert_eq!(*trace.last().unwrap(), d.0);
+        prop_assert_eq!(trace.len(), net.stages() + 1);
+        prop_assert!(trace.iter().all(|&w| w < net.padded()));
+        if s != d {
+            prop_assert_eq!(net.route(s, d).hops(), net.stages() + 1);
+        }
+    }
+
+    #[test]
+    fn factored_shapes_cover_node_count(p in 1usize..=128) {
+        let t = Torus3d::for_nodes(p);
+        prop_assert_eq!(t.nodes(), p);
+        let m = Mesh2d::for_nodes(p);
+        prop_assert_eq!(m.nodes(), p);
+        let (c, r) = m.dims();
+        prop_assert!(c >= r, "near-square with wide side first");
+    }
+
+    #[test]
+    fn graph_matches_torus_distances(
+        dx in 1usize..=4,
+        dy in 1usize..=4,
+        dz in 1usize..=3,
+    ) {
+        // A Graph with a torus's edges reproduces its hop counts (BFS
+        // shortest path == dimension-ordered with wrap for tori).
+        let t = Torus3d::new(dx, dy, dz);
+        let n = t.nodes();
+        let mut g = Graph::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for from in 0..n {
+            for dir in 0..6 {
+                let l = topo::LinkId(from * 6 + dir);
+                let (a, b) = t.endpoints(l);
+                if a != b && seen.insert((a, b)) {
+                    g.add_link(a, b);
+                }
+            }
+        }
+        for s in 0..n {
+            for d in 0..n {
+                prop_assert_eq!(
+                    g.hops(NodeId(s), NodeId(d)),
+                    t.hops(NodeId(s), NodeId(d)),
+                    "pair ({}, {})", s, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_never_exceed_diameter(
+        dx in 1usize..=5,
+        dy in 1usize..=5,
+    ) {
+        let m = Mesh2d::new(dx, dy);
+        let diam = m.diameter();
+        for s in 0..m.nodes() {
+            for d in 0..m.nodes() {
+                prop_assert!(m.hops(NodeId(s), NodeId(d)) <= diam);
+            }
+        }
+        prop_assert_eq!(diam, (dx - 1) + (dy - 1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Machine-ranking crossovers (paper §5–§6).
+//!
+//! The paper's most quoted qualitative result: *which machine wins
+//! depends on the message length*. The SP2 beats the Paragon for short
+//! messages (its startup latency is lower) but loses for long ones (its
+//! 40 MB/s links saturate); the T3D wins almost everywhere. This example
+//! sweeps the message length for each collective and prints the winner
+//! per regime plus the SP2↔Paragon crossover point.
+//!
+//! ```sh
+//! cargo run --release --example machine_ranking
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+
+const NODES: usize = 64;
+const SIZES: [u32; 8] = [4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536];
+
+fn time_us(machine: &Machine, op: OpClass, m: u32) -> Result<f64, SimMpiError> {
+    let comm = machine.communicator(NODES)?;
+    let outcome = match op {
+        OpClass::Barrier => comm.barrier()?,
+        OpClass::Bcast => comm.bcast(Rank(0), m)?,
+        OpClass::Scatter => comm.scatter(Rank(0), m)?,
+        OpClass::Gather => comm.gather(Rank(0), m)?,
+        OpClass::Reduce => comm.reduce(Rank(0), m)?,
+        OpClass::Scan => comm.scan(m)?,
+        OpClass::Alltoall => comm.alltoall(m)?,
+        OpClass::PointToPoint => unreachable!(),
+    };
+    Ok(outcome.time().as_micros_f64())
+}
+
+fn main() -> Result<(), SimMpiError> {
+    let machines = [Machine::sp2(), Machine::paragon(), Machine::t3d()];
+    println!("Fastest machine per (operation, message length) at {NODES} nodes\n");
+    print!("{:<16}", "operation");
+    for m in SIZES {
+        print!("{:>9}", m);
+    }
+    println!("  SP2/Paragon crossover");
+
+    for op in [
+        OpClass::Bcast,
+        OpClass::Alltoall,
+        OpClass::Scatter,
+        OpClass::Gather,
+        OpClass::Scan,
+        OpClass::Reduce,
+    ] {
+        let mut winners = Vec::new();
+        let mut crossover: Option<u32> = None;
+        let mut sp2_was_ahead = false;
+        for (i, &m) in SIZES.iter().enumerate() {
+            let times: Vec<f64> = machines
+                .iter()
+                .map(|mach| time_us(mach, op, m))
+                .collect::<Result<_, _>>()?;
+            let best = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("three machines");
+            winners.push(match best {
+                0 => "SP2",
+                1 => "Paragon",
+                _ => "T3D",
+            });
+            let sp2_ahead = times[0] < times[1];
+            if i == 0 {
+                sp2_was_ahead = sp2_ahead;
+            } else if sp2_was_ahead && !sp2_ahead && crossover.is_none() {
+                crossover = Some(m);
+            }
+        }
+        print!("{:<16}", op.paper_name());
+        for w in &winners {
+            print!("{w:>9}");
+        }
+        match crossover {
+            Some(m) => println!("  near {m} B"),
+            None => println!("  none in range"),
+        }
+    }
+
+    println!(
+        "\nExpected shape (paper §5): T3D fastest almost everywhere; for the\n\
+         SP2-vs-Paragon pair the SP2 wins short messages (< ~1 KB) and the\n\
+         Paragon wins long ones, except reduce, which the SP2 keeps."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Using the fitted timing formulas to optimize a parallel application —
+//! the use case the paper's abstract promises ("useful to those who wish
+//! to … optimize parallel applications by trade-offs between divided
+//! computation and collective communication").
+//!
+//! We fit Table-3-style closed forms from a simulated sweep, then use
+//! them *analytically* to choose the best machine size for a distributed
+//! matrix transpose + reduce workload, and finally validate the choice by
+//! simulating the predicted optimum and its neighbours.
+//!
+//! ```sh
+//! cargo run --release --example optimizer
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+
+/// Problem: transpose an N×N f32 matrix (alltoall of (N²/p²)·4 bytes)
+/// then reduce a length-N row (N·4 bytes), with O(N²/p) local work.
+const N: u64 = 2_048;
+const FLOP_PER_ELEM: f64 = 6.0;
+const MFLOPS: f64 = 150.0;
+
+fn predicted_us(a2a: &TimingFormula, red: &TimingFormula, p: usize) -> f64 {
+    let block = ((N * N * 4) / (p as u64 * p as u64)).max(4) as u32;
+    let compute = (N * N) as f64 * FLOP_PER_ELEM / p as f64 / MFLOPS;
+    compute + a2a.predict_us(block, p) + red.predict_us((N * 4) as u32, p)
+}
+
+fn simulated_us(machine: &Machine, p: usize) -> Result<f64, SimMpiError> {
+    let comm = machine.communicator(p)?;
+    let block = ((N * N * 4) / (p as u64 * p as u64)).max(4) as u32;
+    let compute = (N * N) as f64 * FLOP_PER_ELEM / p as f64 / MFLOPS;
+    let a2a = comm.alltoall(block)?.time().as_micros_f64();
+    let red = comm.reduce(Rank(0), (N * 4) as u32)?.time().as_micros_f64();
+    Ok(compute + a2a + red)
+}
+
+fn main() -> Result<(), SimMpiError> {
+    let machine = Machine::t3d();
+    println!(
+        "Optimizing machine size for a {N}x{N} transpose+reduce on the {}\n",
+        machine.name()
+    );
+
+    // Step 1: fit the closed forms from a small calibration sweep.
+    let data = SweepBuilder::new()
+        .machines([machine.clone()])
+        .ops([OpClass::Alltoall, OpClass::Reduce])
+        .message_sizes([4, 1_024, 16_384, 65_536])
+        .node_counts([2, 4, 8, 16, 32, 64])
+        .protocol(Protocol::quick())
+        .run()?;
+    let a2a = fit_surface(&data, machine.name(), OpClass::Alltoall).expect("fit");
+    let red = fit_surface(&data, machine.name(), OpClass::Reduce).expect("fit");
+    println!("fitted total exchange: T(m,p) = {a2a}");
+    println!("fitted reduce:         T(m,p) = {red}\n");
+
+    // Step 2: evaluate the model over candidate sizes (cheap).
+    println!("{:>5} {:>14} {:>14}", "p", "predicted", "simulated");
+    let mut best = (0usize, f64::MAX);
+    for p in [2usize, 4, 8, 16, 32, 64] {
+        let pred = predicted_us(&a2a, &red, p);
+        if pred < best.1 {
+            best = (p, pred);
+        }
+        let sim = simulated_us(&machine, p)?;
+        println!("{p:>5} {:>12.2}ms {:>12.2}ms", pred / 1000.0, sim / 1000.0);
+    }
+
+    // Step 3: confirm the analytic optimum against the simulator.
+    let (p_star, pred) = best;
+    let neighbours: Vec<usize> = [p_star / 2, p_star, (p_star * 2).min(64)]
+        .into_iter()
+        .filter(|&p| p >= 2)
+        .collect();
+    let mut sim_best = (0usize, f64::MAX);
+    for &p in &neighbours {
+        let t = simulated_us(&machine, p)?;
+        if t < sim_best.1 {
+            sim_best = (p, t);
+        }
+    }
+    println!(
+        "\nmodel picks p = {p_star} ({:.2} ms predicted); simulation of the \
+         neighbourhood picks p = {} ({:.2} ms)",
+        pred / 1000.0,
+        sim_best.0,
+        sim_best.1 / 1000.0
+    );
+    Ok(())
+}

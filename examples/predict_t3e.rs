@@ -1,0 +1,93 @@
+//! Early prediction of the next machine — the use the paper's companion
+//! work puts these models to ("Early Prediction of MPP Performance:
+//! SP2, T3D, and Paragon Experiences", Xu & Hwang 1996).
+//!
+//! The Cray T3E was announced as this paper was written: same 3-D torus,
+//! roughly double the link bandwidth (~600 MB/s sustained), E-registers
+//! cutting the messaging overhead several-fold, and the hardware barrier
+//! retained. We build that *predicted* machine from public architecture
+//! figures with [`MachineBuilder`], run the paper's measurement grid on
+//! it, fit Table-3-style formulas, and report the predicted speedups
+//! over the measured T3D — the workflow the paper proposes for machines
+//! that do not exist yet (for us, a machine that no longer exists).
+//!
+//! ```sh
+//! cargo run --release --example predict_t3e
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+use netmodel::{ClassCosts, MachineBuilder, SendEngine};
+
+/// Predicted T3E parameters from architecture disclosures: ~600 MB/s
+/// sustained per link, ~1 µs puts via E-registers (we assume the MPI
+/// shell above them keeps ~1/3 of the T3D's per-message cost).
+fn predicted_t3e() -> Result<Machine, SimMpiError> {
+    let t3d = netmodel::t3d();
+    let mut b = MachineBuilder::new("Cray T3E (predicted)");
+    b.torus3d()
+        .hop_ns(15.0)
+        .link_bandwidth_mb_s(600.0)
+        .min_packet_bytes(32)
+        .compute_ns_per_byte(6.0) // 300 MHz EV5 vs 150 MHz EV4
+        .send_engine(SendEngine::BlockTransfer {
+            threshold_bytes: 512,
+            setup_us: 0.7,
+            ns_per_byte: 0.3,
+        })
+        .hw_barrier(2.0, 0.008)
+        .max_nodes(128);
+    // One-third of the T3D's software costs per class.
+    for class in OpClass::COLLECTIVES.into_iter().chain([OpClass::PointToPoint]) {
+        let c = *t3d.costs.get(class);
+        b.class_costs(
+            class,
+            ClassCosts {
+                entry_us: c.entry_us / 3.0,
+                o_send_us: c.o_send_us / 3.0,
+                o_recv_us: c.o_recv_us / 3.0,
+                byte_send_ns: c.byte_send_ns / 3.0,
+                byte_recv_ns: c.byte_recv_ns / 3.0,
+                offload: c.offload,
+            },
+        );
+    }
+    Machine::custom(b.build().map_err(SimMpiError::InvalidSpec)?)
+}
+
+fn main() -> Result<(), SimMpiError> {
+    let t3d = Machine::t3d();
+    let t3e = predicted_t3e()?;
+
+    // Run the paper's grid on both and fit the closed forms.
+    let data = SweepBuilder::new()
+        .machines([t3d.clone(), t3e.clone()])
+        .message_sizes([4, 1_024, 16_384, 65_536])
+        .node_counts([2, 4, 8, 16, 32, 64])
+        .protocol(Protocol::quick())
+        .run()?;
+
+    println!("Predicted Cray T3E vs measured-model Cray T3D (fitted formulas)\n");
+    for op in OpClass::COLLECTIVES {
+        let f_t3d = fit_surface(&data, t3d.name(), op).expect("fit");
+        let f_t3e = fit_surface(&data, t3e.name(), op).expect("fit");
+        println!("{:<16} T3D: {f_t3d}", op.paper_name());
+        println!("{:<16} T3E: {f_t3e}", "");
+        for (m, p) in [(16u32, 64usize), (65_536, 64)] {
+            let a = f_t3d.predict_us(m, p);
+            let b = f_t3e.predict_us(m, p);
+            println!(
+                "{:<16}      predicted speedup at ({m} B, {p} nodes): {:.1}x",
+                "",
+                a / b
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: with the software shell cut to a third and links doubled, the\n\
+         model predicts ~3x across the board — software costs, not wires, were\n\
+         the T3D's collective bottleneck, so the software improvement carries\n\
+         through both regimes. The hardwired barrier stays at microseconds."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: time the paper's seven collectives on all three machines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+
+fn main() -> Result<(), SimMpiError> {
+    const NODES: usize = 32;
+    const BYTES: u32 = 1_024;
+
+    println!("MPI collective times, {NODES} nodes, {BYTES} B per message (cold start)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "operation", "IBM SP2", "Intel Paragon", "Cray T3D"
+    );
+    for op in OpClass::COLLECTIVES {
+        let mut cells = Vec::new();
+        for machine in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
+            let comm = machine.communicator(NODES)?;
+            let outcome = match op {
+                OpClass::Barrier => comm.barrier()?,
+                OpClass::Bcast => comm.bcast(Rank(0), BYTES)?,
+                OpClass::Scatter => comm.scatter(Rank(0), BYTES)?,
+                OpClass::Gather => comm.gather(Rank(0), BYTES)?,
+                OpClass::Reduce => comm.reduce(Rank(0), BYTES)?,
+                OpClass::Scan => comm.scan(BYTES)?,
+                OpClass::Alltoall => comm.alltoall(BYTES)?,
+                OpClass::PointToPoint => unreachable!("not a collective"),
+            };
+            cells.push(format!("{}", outcome.time()));
+        }
+        println!(
+            "{:<16} {:>12} {:>12} {:>12}",
+            op.paper_name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    // The paper's measurement methodology (warm-up + k-iteration loop +
+    // max-reduce) gives steadier numbers than a cold start:
+    let comm = Machine::t3d().communicator(NODES)?;
+    let point = measure(&comm, OpClass::Alltoall, BYTES, &Protocol::paper())?;
+    println!(
+        "\nPaper-methodology total exchange on the T3D: {:.1} us \
+         (min {:.1}, mean {:.1} across ranks)",
+        point.time_us, point.min_time_us, point.mean_time_us
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! The T3D's native SHMEM layer vs its MPI library.
+//!
+//! §4 of the paper credits the T3D's speed to hardware "fast messaging,
+//! … prefetch queue and remote processor store" — the same machinery
+//! Cray exposed directly through the SHMEM one-sided API, which was
+//! famously several times faster than MPI on this machine (put latency
+//! of a few microseconds versus tens). This example asks the question
+//! the paper's §9 invites (evaluating faster messaging layers under the
+//! collectives): *how much of the T3D's MPI collective time was the MPI
+//! software shell?*
+//!
+//! We model SHMEM as a cost table with one-sided semantics: ~1.5 µs to
+//! issue a remote put, no receive-side matching overhead (the hardware
+//! writes directly into remote memory), payload streaming via the same
+//! BLT engine, and barrier synchronization on the hardwired tree. The
+//! collective schedules are unchanged — only the software shell differs.
+//!
+//! ```sh
+//! cargo run --release --example shmem_t3d
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+use netmodel::{ClassCosts, CostTable};
+
+/// SHMEM-style costs: one-sided puts, no matching on the target side.
+fn shmem_costs() -> ClassCosts {
+    ClassCosts {
+        entry_us: 1.0,      // library call, no communicator bookkeeping
+        o_send_us: 1.5,     // issue the put (E-register setup)
+        o_recv_us: 0.5,     // target-side completion check (shmem_wait)
+        byte_send_ns: 2.0,  // local load path
+        byte_recv_ns: 1.0,  // remote store path is hardware
+        offload: true,      // BLT streams large puts
+    }
+}
+
+fn shmem_t3d() -> Result<Machine, SimMpiError> {
+    let mut spec = netmodel::t3d();
+    spec.name = "Cray T3D (SHMEM)";
+    spec.costs = CostTable::uniform(shmem_costs());
+    Machine::custom(spec)
+}
+
+fn main() -> Result<(), SimMpiError> {
+    const NODES: usize = 64;
+    let mpi = Machine::t3d();
+    let shmem = shmem_t3d()?;
+
+    println!(
+        "Cray T3D, {NODES} nodes: CRI/EPCC MPI vs a SHMEM-style shell\n\
+         (same algorithms, same hardware; only the software path differs)\n"
+    );
+    println!(
+        "{:<16} {:>8} {:>14} {:>14} {:>9}",
+        "operation", "m (B)", "MPI", "SHMEM-style", "speedup"
+    );
+    for op in [
+        OpClass::Bcast,
+        OpClass::Alltoall,
+        OpClass::Scatter,
+        OpClass::Gather,
+        OpClass::Reduce,
+        OpClass::Scan,
+    ] {
+        for m in [16u32, 65_536] {
+            let run = |machine: &Machine| -> Result<f64, SimMpiError> {
+                let comm = machine.communicator(NODES)?;
+                let out = match op {
+                    OpClass::Bcast => comm.bcast(Rank(0), m)?,
+                    OpClass::Alltoall => comm.alltoall(m)?,
+                    OpClass::Scatter => comm.scatter(Rank(0), m)?,
+                    OpClass::Gather => comm.gather(Rank(0), m)?,
+                    OpClass::Reduce => comm.reduce(Rank(0), m)?,
+                    OpClass::Scan => comm.scan(m)?,
+                    _ => unreachable!("not exercised"),
+                };
+                Ok(out.time().as_micros_f64())
+            };
+            let t_mpi = run(&mpi)?;
+            let t_shmem = run(&shmem)?;
+            println!(
+                "{:<16} {:>8} {:>12.0}us {:>12.0}us {:>8.1}x",
+                op.paper_name(),
+                m,
+                t_mpi,
+                t_shmem,
+                t_mpi / t_shmem
+            );
+        }
+    }
+    println!(
+        "\nReading: short-message collectives shrink several-fold — the MPI\n\
+         shell (matching, buffering, communicator checks) was most of their\n\
+         cost. Long-message times converge toward the wire/BLT limits that\n\
+         both layers share, echoing the paper's §5 decomposition."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! STAP radar pipeline — the workload behind the paper.
+//!
+//! The timing data in the paper comes from the STAP (Space-Time Adaptive
+//! Processing) benchmark experiments run at USC/HKU for MIT Lincoln
+//! Laboratory. This example drives the `stap` crate: a radar data cube
+//! flows through Doppler filtering, a corner-turn total exchange,
+//! adaptive weight broadcast, beamforming, CFAR detection, and a
+//! report reduce; compute is costed per machine, communication runs on
+//! the simulator. The output is the computation/communication trade-off
+//! study the paper's conclusions propose.
+//!
+//! ```sh
+//! cargo run --release --example stap_radar
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+use stap::{best_partition, DataCube, StapRun};
+
+fn main() -> Result<(), SimMpiError> {
+    let cube = DataCube::medium();
+    println!(
+        "STAP iteration: {} range gates x {} pulses x {} channels ({} MB cube)\n",
+        cube.range_gates,
+        cube.pulses,
+        cube.channels,
+        cube.bytes() / (1 << 20)
+    );
+    println!(
+        "{:<16} {:>5} {:>12} {:>12} {:>12} {:>7}  bottleneck",
+        "machine", "p", "compute", "comm", "total", "comm %"
+    );
+    for machine in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
+        for p in [4usize, 8, 16, 32, 64] {
+            if p > machine.spec().max_nodes {
+                continue;
+            }
+            let run = StapRun::execute(&machine, cube, p)?;
+            println!(
+                "{:<16} {:>5} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>6.0}%  {}",
+                machine.name(),
+                p,
+                run.compute_us() / 1000.0,
+                run.comm_us() / 1000.0,
+                run.total_us() / 1000.0,
+                100.0 * run.comm_fraction(),
+                run.bottleneck().stage,
+            );
+        }
+        let (_, best) = best_partition(&machine, cube, &[4, 8, 16, 32, 64])?;
+        println!("  -> best machine size for {}: p = {best}\n", machine.name());
+    }
+    println!(
+        "Observation (paper §1): the sweet spot balances divided computation\n\
+         against growing collective-communication cost — the corner turn's\n\
+         alltoall eventually dominates as p rises."
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! MPPs versus a workstation cluster — the other platform of the
+//! paper's opening sentence ("programming multicomputers or clusters of
+//! workstations") and of its related work ([26], [29]: MPI on
+//! workstation clusters).
+//!
+//! We model a mid-1990s NOW-style cluster with [`MachineBuilder`]:
+//! switched 10 Mb/s Ethernet (1.25 MB/s), ~400 µs TCP/IP per-message
+//! software overhead, and compare its collectives with the three MPPs.
+//! The exercise shows *why* the paper's trade-off methodology matters:
+//! on a cluster the startup term dwarfs everything, so the optimal
+//! decomposition shifts toward fewer, larger messages.
+//!
+//! ```sh
+//! cargo run --release --example workstation_cluster
+//! ```
+
+use mpi_collectives_eval::prelude::*;
+use netmodel::MachineBuilder;
+
+fn now_cluster() -> Result<Machine, SimMpiError> {
+    let spec = MachineBuilder::new("NOW cluster")
+        .crossbar() // switched Ethernet: single hop, no backbone contention
+        .link_bandwidth_mb_s(1.25) // 10 Mb/s Ethernet
+        .hop_ns(5_000.0) // switch + serialization preamble
+        .uniform_overheads_us(400.0, 350.0) // TCP/IP + kernel sockets
+        .uniform_byte_costs_ns(80.0, 80.0) // checksum + copies
+        .compute_ns_per_byte(10.0)
+        .max_nodes(32)
+        .build()
+        .map_err(SimMpiError::InvalidSpec)?;
+    Machine::custom(spec)
+}
+
+fn main() -> Result<(), SimMpiError> {
+    const NODES: usize = 16;
+    let cluster = now_cluster()?;
+    let machines = [
+        Machine::sp2(),
+        Machine::paragon(),
+        Machine::t3d(),
+        cluster,
+    ];
+
+    for (label, bytes) in [("short (64 B)", 64u32), ("long (64 KB)", 65_536)] {
+        println!("\n== {label} messages, {NODES} nodes ==");
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>12}",
+            "machine", "broadcast", "alltoall", "reduce", "barrier"
+        );
+        for machine in &machines {
+            let comm = machine.communicator(NODES)?;
+            println!(
+                "{:<16} {:>12} {:>12} {:>12} {:>12}",
+                machine.name(),
+                format!("{}", comm.bcast(Rank(0), bytes)?.time()),
+                format!("{}", comm.alltoall(bytes)?.time()),
+                format!("{}", comm.reduce(Rank(0), bytes)?.time()),
+                format!("{}", comm.barrier()?.time()),
+            );
+        }
+    }
+
+    // Where does the cluster's time go? Decompose with the fitted model.
+    let cluster = now_cluster()?;
+    let data = SweepBuilder::new()
+        .machines([cluster.clone()])
+        .ops([OpClass::Alltoall])
+        .message_sizes([64, 4_096, 65_536])
+        .node_counts([2, 4, 8, 16, 32])
+        .protocol(Protocol::quick())
+        .run()?;
+    let f = fit_surface(&data, "NOW cluster", OpClass::Alltoall).expect("fit");
+    println!("\nfitted NOW-cluster total exchange: T(m,p) = {f}");
+    println!(
+        "startup share at (4 KB, 16 nodes): {:.0}%",
+        100.0 * f.startup_us(16) / f.predict_us(4_096, 16)
+    );
+    println!(
+        "\nReading: the cluster's per-message software cost (~0.75 ms round)\n\
+         puts its short-message collectives 1-2 orders of magnitude behind\n\
+         the MPPs, while its long-message gap tracks the ~30x link-bandwidth\n\
+         difference — the same startup/bandwidth decomposition the paper\n\
+         applies to the MPPs, at cluster scale."
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # mpi-collectives-eval — umbrella crate
+//!
+//! Re-exports the whole reproduction stack of *"Evaluating MPI Collective
+//! Communication on the SP2, T3D, and Paragon Multicomputers"* (Hwang,
+//! Wang & Wang, HPCA 1997). See the README for the architecture tour and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the experiment index.
+//!
+//! ```
+//! use mpi_collectives_eval::prelude::*;
+//!
+//! let comm = Machine::t3d().communicator(64)?;
+//! let barrier = comm.barrier()?;
+//! assert!(barrier.time().as_micros_f64() < 4.0); // the 3 us hardwired barrier
+//! # Ok::<(), mpisim::SimMpiError>(())
+//! ```
+
+pub use collectives;
+pub use desim;
+pub use harness;
+pub use mpisim;
+pub use netmodel;
+pub use perfmodel;
+pub use report;
+pub use stap;
+pub use topo;
+
+/// Convenient single import for examples and downstream users.
+pub mod prelude {
+    pub use collectives::{Rank, Schedule, Step};
+    pub use desim::{SimDuration, SimTime};
+    pub use harness::{measure, Dataset, Protocol, SweepBuilder};
+    pub use mpisim::{
+        AlgorithmPolicy, CollectiveOutcome, Communicator, Machine, MachineId, OpClass,
+        SimMpiError, WireConfig,
+    };
+    pub use perfmodel::{fit_surface, TimingFormula};
+}
