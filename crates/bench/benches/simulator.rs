@@ -1,87 +1,107 @@
-//! Criterion micro-benchmarks of the simulator itself: how fast can the
+//! Micro-benchmarks of the simulator itself: how fast can the
 //! discrete-event engine execute each collective's schedule? These guard
 //! against performance regressions in the simulation core (the paper
 //! reproduction sweeps run hundreds of thousands of collective
 //! executions).
+//!
+//! Self-contained harness (no external framework): each case is warmed
+//! up, then timed over enough iterations to smooth scheduler noise, and
+//! reported as median ns/iter. Run with `cargo bench -p bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use mpisim::{Machine, OpClass, Rank};
 
-fn collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collective_execution");
+/// Times `f` and reports the median per-iteration cost over `samples`
+/// batches of `iters` calls each.
+fn bench<R>(name: &str, samples: usize, iters: u32, mut f: impl FnMut() -> R) {
+    // Warmup: one batch, unrecorded.
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    println!("{name:<44} median {median:>12.0} ns/iter   best {best:>12.0} ns/iter");
+}
+
+fn collectives() {
+    println!("-- collective_execution --");
     for op in [OpClass::Bcast, OpClass::Alltoall, OpClass::Barrier] {
         for p in [16usize, 64] {
             let machine = Machine::t3d();
             let comm = machine.communicator(p).unwrap();
             let schedule = comm.schedule(op, Rank(0), 1024).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(op.paper_name().replace(' ', "_"), p),
-                &p,
-                |b, _| b.iter(|| comm.run(&schedule).unwrap()),
-            );
+            let name = format!("{}/{}", op.paper_name().replace(' ', "_"), p);
+            let iters = if op == OpClass::Alltoall && p == 64 {
+                20
+            } else {
+                200
+            };
+            bench(&name, 20, iters, || comm.run(&schedule).unwrap());
         }
     }
-    group.finish();
 }
 
-fn machines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine_comparison");
+fn machines() {
+    println!("-- machine_comparison --");
     for machine in Machine::all() {
         let comm = machine.communicator(32).unwrap();
         let schedule = comm.schedule(OpClass::Alltoall, Rank(0), 4096).unwrap();
-        group.bench_function(machine.name().replace(' ', "_"), |b| {
-            b.iter(|| comm.run(&schedule).unwrap())
+        bench(&machine.name().replace(' ', "_"), 20, 50, || {
+            comm.run(&schedule).unwrap()
         });
     }
-    group.finish();
 }
 
-fn routing(c: &mut Criterion) {
+fn routing() {
     use topo::{Mesh2d, NodeId, Omega, Topology, Torus3d};
-    let mut group = c.benchmark_group("routing");
+    println!("-- routing --");
     let torus = Torus3d::for_nodes(64);
     let mesh = Mesh2d::for_nodes(128);
     let omega = Omega::sp2(128);
-    group.bench_function("torus64_all_pairs", |b| {
-        b.iter(|| {
-            let mut h = 0usize;
-            for s in 0..64 {
-                for d in 0..64 {
-                    h += torus.route(NodeId(s), NodeId(d)).hops();
-                }
+    bench("torus64_all_pairs", 20, 50, || {
+        let mut h = 0usize;
+        for s in 0..64 {
+            for d in 0..64 {
+                h += torus.route(NodeId(s), NodeId(d)).hops();
             }
-            h
-        })
+        }
+        h
     });
-    group.bench_function("mesh128_all_pairs", |b| {
-        b.iter(|| {
-            let mut h = 0usize;
-            for s in 0..128 {
-                for d in 0..128 {
-                    h += mesh.route(NodeId(s), NodeId(d)).hops();
-                }
+    bench("mesh128_all_pairs", 20, 50, || {
+        let mut h = 0usize;
+        for s in 0..128 {
+            for d in 0..128 {
+                h += mesh.route(NodeId(s), NodeId(d)).hops();
             }
-            h
-        })
+        }
+        h
     });
-    group.bench_function("omega128_all_pairs", |b| {
-        b.iter(|| {
-            let mut h = 0usize;
-            for s in 0..128 {
-                for d in 0..128 {
-                    h += omega.route(NodeId(s), NodeId(d)).hops();
-                }
+    bench("omega128_all_pairs", 20, 50, || {
+        let mut h = 0usize;
+        for s in 0..128 {
+            for d in 0..128 {
+                h += omega.route(NodeId(s), NodeId(d)).hops();
             }
-            h
-        })
+        }
+        h
     });
-    group.finish();
 }
 
-fn measurement_pipeline(c: &mut Criterion) {
+fn measurement_pipeline() {
     use harness::{measure, Protocol};
-    let mut group = c.benchmark_group("paper_measurement");
-    group.sample_size(10);
+    println!("-- paper_measurement --");
     let machine = Machine::sp2();
     let comm = machine.communicator(32).unwrap();
     for op in [
@@ -94,50 +114,51 @@ fn measurement_pipeline(c: &mut Criterion) {
         OpClass::Barrier,
     ] {
         let m = if op == OpClass::Barrier { 0 } else { 1024 };
-        group.bench_function(op.paper_name().replace(' ', "_"), |b| {
-            b.iter(|| measure(&comm, op, m, &Protocol::quick()).unwrap())
+        bench(&op.paper_name().replace(' ', "_"), 10, 5, || {
+            measure(&comm, op, m, &Protocol::quick()).unwrap()
         });
     }
-    group.finish();
 }
 
-fn event_queues(c: &mut Criterion) {
+fn event_queues() {
     use desim::{Engine, SimTime};
-    let mut group = c.benchmark_group("event_queue_backends");
+    println!("-- event_queue_backends --");
     for (name, make) in [
         ("heap", Engine::<u64>::new as fn() -> Engine<u64>),
-        ("calendar", Engine::<u64>::with_calendar_queue as fn() -> Engine<u64>),
+        (
+            "calendar",
+            Engine::<u64>::with_calendar_queue as fn() -> Engine<u64>,
+        ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut engine = make();
-                let mut world = 0u64;
-                // Dense self-rescheduling population: 64 actors x 100 steps.
-                for actor in 0..64u64 {
-                    fn tick(n: u32, stride: u64) -> desim::EventFn<u64> {
-                        Box::new(move |s, w: &mut u64| {
-                            *w += 1;
-                            if n > 0 {
-                                s.schedule_in(
-                                    desim::SimDuration::from_nanos(stride),
-                                    tick(n - 1, stride),
-                                );
-                            }
-                        })
-                    }
-                    engine.schedule_at(SimTime::from_nanos(actor * 17), tick(100, 97 + actor));
+        bench(name, 20, 50, || {
+            let mut engine = make();
+            let mut world = 0u64;
+            // Dense self-rescheduling population: 64 actors x 100 steps.
+            for actor in 0..64u64 {
+                fn tick(n: u32, stride: u64) -> desim::EventFn<u64> {
+                    Box::new(move |s, w: &mut u64| {
+                        *w += 1;
+                        if n > 0 {
+                            s.schedule_in(
+                                desim::SimDuration::from_nanos(stride),
+                                tick(n - 1, stride),
+                            );
+                        }
+                    })
                 }
-                engine.run(&mut world);
-                world
-            })
+                engine.schedule_at(SimTime::from_nanos(actor * 17), tick(100, 97 + actor));
+            }
+            engine.run(&mut world);
+            world
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = collectives, machines, routing, event_queues, measurement_pipeline
+fn main() {
+    // `cargo bench` passes flags like `--bench`; none affect this harness.
+    collectives();
+    machines();
+    routing();
+    event_queues();
+    measurement_pipeline();
 }
-criterion_main!(benches);

@@ -156,19 +156,21 @@ fn interconnect_ablation(cli: &Cli) {
         ]);
     }
     print!("{}", t.render());
-    println!(
-        "(ratios near 1.0 mean the results do not hinge on the indirect-network abstraction)"
-    );
+    println!("(ratios near 1.0 mean the results do not hinge on the indirect-network abstraction)");
 }
 
 fn placement_ablation(cli: &Cli) {
     let proto = cli.protocol();
-    println!("\n== Rank placement: contiguous vs scattered allocation (bcast, 4 KB x {P} nodes) ==");
+    println!(
+        "\n== Rank placement: contiguous vs scattered allocation (bcast, 4 KB x {P} nodes) =="
+    );
     let mut t = Table::new(["Machine", "contiguous (us)", "scattered (us)", "penalty"]);
     for base in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
         let contiguous = run_with(&base, OpClass::Bcast, 4_096, &proto);
         let scattered = run_with(
-            &base.clone().with_placement(Placement::Scattered { seed: 1997 }),
+            &base
+                .clone()
+                .with_placement(Placement::Scattered { seed: 1997 }),
             OpClass::Bcast,
             4_096,
             &proto,
@@ -190,7 +192,11 @@ fn algorithm_ablation() -> Result<(), SimMpiError> {
     let comm = machine.communicator(P)?;
     let mut t = Table::new(["Operation", "Schedule", "time (us)", "messages"]);
     let rows: Vec<(&str, &str, collectives::Schedule)> = vec![
-        ("Broadcast", "binomial (vendor)", bcast::binomial(P, Rank(0), M)),
+        (
+            "Broadcast",
+            "binomial (vendor)",
+            bcast::binomial(P, Rank(0), M),
+        ),
         ("Broadcast", "linear", bcast::linear(P, Rank(0), M)),
         (
             "Broadcast",
@@ -206,7 +212,11 @@ fn algorithm_ablation() -> Result<(), SimMpiError> {
         ("Scatter", "binomial", scatter::binomial(P, Rank(0), M)),
         ("Gather", "linear (vendor)", gather::linear(P, Rank(0), M)),
         ("Gather", "binomial", gather::binomial(P, Rank(0), M)),
-        ("Reduce", "binomial (vendor)", reduce::binomial(P, Rank(0), M)),
+        (
+            "Reduce",
+            "binomial (vendor)",
+            reduce::binomial(P, Rank(0), M),
+        ),
         ("Reduce", "linear", reduce::linear(P, Rank(0), M)),
         ("Alltoall", "pairwise (vendor)", alltoall::pairwise(P, M)),
         ("Alltoall", "ring", alltoall::ring(P, M)),

@@ -27,7 +27,11 @@ fn main() {
         let ops: Vec<OpClass> = SIX_OPS.iter().copied().chain([OpClass::Barrier]).collect();
         timed(machine.name(), || {
             for op in ops {
-                let m_values: &[u32] = if op == OpClass::Barrier { &[0] } else { &grid_m };
+                let m_values: &[u32] = if op == OpClass::Barrier {
+                    &[0]
+                } else {
+                    &grid_m
+                };
                 for &m in m_values {
                     let mut cells = vec![op.paper_name().to_string(), format!("{m}")];
                     for &p in &grid_p {
@@ -37,8 +41,7 @@ fn main() {
                         }
                         let comm = machine.communicator(p).expect("size in range");
                         let meas = measure(&comm, op, m, &protocol).expect("measure");
-                        let cell = match ratio_to_paper(machine.name(), op, m, p, meas.time_us)
-                        {
+                        let cell = match ratio_to_paper(machine.name(), op, m, p, meas.time_us) {
                             Some(r) => format!("{r:.2}"),
                             None => format!("[{:.0}us]", meas.time_us),
                         };
@@ -48,7 +51,10 @@ fn main() {
                 }
             }
         });
-        println!("\n== {} — sim/published ratio (1.00 = exact) ==", machine.name());
+        println!(
+            "\n== {} — sim/published ratio (1.00 = exact) ==",
+            machine.name()
+        );
         print!("{}", table.render());
     }
 }

@@ -57,9 +57,11 @@ fn parse_args() -> Result<Args, String> {
             "--bytes" => bytes = value()?.parse().map_err(|e| format!("bad bytes: {e}"))?,
             "--timeline" => timeline = true,
             "--help" | "-h" => {
-                return Err("usage: explore --machine sp2|t3d|paragon --op <collective> \
+                return Err(
+                    "usage: explore --machine sp2|t3d|paragon --op <collective> \
                      --nodes N --bytes M [--timeline]"
-                    .into())
+                        .into(),
+                )
             }
             other => return Err(format!("unknown option {other}")),
         }

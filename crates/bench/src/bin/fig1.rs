@@ -24,7 +24,10 @@ fn main() {
 
     for op in SIX_OPS {
         let mut chart = LogChart::new(
-            format!("FIGURE 1 ({}) — startup latency T0(p) [us]", op.paper_name()),
+            format!(
+                "FIGURE 1 ({}) — startup latency T0(p) [us]",
+                op.paper_name()
+            ),
             "p, machine size",
             "T0 (us)",
         );

@@ -87,7 +87,9 @@ fn main() {
     // Per-figure qualitative checklist.
     let _ = writeln!(md, "\n## Qualitative checks\n");
     let t = |m: &str, op: OpClass, bytes: u32, p: usize| {
-        data.at(m, op, bytes, p).map(|x| x.time_us).unwrap_or(f64::NAN)
+        data.at(m, op, bytes, p)
+            .map(|x| x.time_us)
+            .unwrap_or(f64::NAN)
     };
     let checks: Vec<(String, bool)> = vec![
         (
@@ -125,7 +127,14 @@ fn main() {
     ];
     let mut qt = Table::new(["Claim", "Holds"]);
     for (claim, holds) in checks {
-        qt.push_row([claim, if holds { "yes".into() } else { "NO".to_string() }]);
+        qt.push_row([
+            claim,
+            if holds {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
     }
     md.push_str(&qt.render_markdown());
 

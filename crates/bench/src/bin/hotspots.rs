@@ -1,14 +1,18 @@
-//! Network hotspot analysis: where does each topology concentrate load?
+//! Network hotspot analysis: where does each topology concentrate load,
+//! and where does each rank's time go?
 //!
-//! Runs a 64-node total exchange on all three machines with link-load
-//! recording and reports the distribution — the Paragon's mesh funnels
-//! bisection traffic through its center columns, the T3D torus spreads
-//! it across wrap links, and the SP2's Omega concentrates on shared
-//! interior wire columns. Quantifies the "routing delays in the 2-D
-//! mesh network" the paper blames for Paragon latency (§4).
+//! Runs a 64-node total exchange on all three machines under full
+//! instrumentation and reports (1) the link-load distribution — the
+//! Paragon's mesh funnels bisection traffic through its center columns,
+//! the T3D torus spreads it across wrap links, and the SP2's Omega
+//! concentrates on shared interior wire columns — and (2) the per-phase
+//! time split (software / copy / blocked) plus queueing delays, instead
+//! of wall-clock-only numbers. Quantifies the "routing delays in the
+//! 2-D mesh network" the paper blames for Paragon latency (§4).
 
 use bench::Cli;
 use desim::SimDuration;
+use mpisim::comm::RunOptions;
 use mpisim::{Machine, OpClass, Rank};
 use report::Table;
 
@@ -26,15 +30,30 @@ fn main() {
         "mean busy",
         "imbalance",
     ]);
+    let mut phases = Table::new([
+        "Machine",
+        "sw (max rank)",
+        "blocked (max rank)",
+        "blocked share",
+        "link queue",
+        "inject queue",
+    ]);
     for machine in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
         let comm = machine.communicator(P).expect("size");
-        let schedule = comm.schedule(OpClass::Alltoall, Rank(0), M).expect("schedule");
-        let out = comm.run_diagnosed(&schedule).expect("run");
+        let schedule = comm
+            .schedule(OpClass::Alltoall, Rank(0), M)
+            .expect("schedule");
+        let (out, observed) = comm
+            .run_observed(&[&schedule], RunOptions::default())
+            .expect("run");
         let loads = &out.link_loads;
         let n = loads.len().max(1);
         let total: SimDuration = loads.iter().map(|&(_, b)| b).sum();
         let mean_us = total.as_micros_f64() / n as f64;
-        let max_us = loads.first().map(|&(_, b)| b.as_micros_f64()).unwrap_or(0.0);
+        let max_us = loads
+            .first()
+            .map(|&(_, b)| b.as_micros_f64())
+            .unwrap_or(0.0);
         summary.push_row([
             machine.name().to_string(),
             machine.spec().topology.build(P).describe(),
@@ -43,6 +62,26 @@ fn main() {
             format!("{mean_us:.0} us"),
             format!("{:.2}x", max_us / mean_us.max(1e-9)),
         ]);
+
+        // Per-phase split of the slowest rank: how much of the critical
+        // path is software overhead vs. waiting on the network.
+        let slowest = (0..P)
+            .max_by_key(|&r| out.rank_elapsed(r))
+            .expect("non-empty");
+        let ph = out.phases[slowest];
+        let elapsed = out.rank_elapsed(slowest).as_micros_f64();
+        phases.push_row([
+            machine.name().to_string(),
+            format!("{:.0} us", ph.sw.as_micros_f64()),
+            format!("{:.0} us", ph.blocked.as_micros_f64()),
+            format!(
+                "{:.0}%",
+                100.0 * ph.blocked.as_micros_f64() / elapsed.max(1e-9)
+            ),
+            format!("{:.0} us", observed.net.link_queue_ns as f64 / 1e3),
+            format!("{:.0} us", observed.net.inject_queue_ns as f64 / 1e3),
+        ]);
+
         println!("-- {} : ten hottest links --", machine.name());
         let mut t = Table::new(["link", "busy (us)", "share of total"]);
         for &(id, busy) in loads.iter().take(10) {
@@ -59,5 +98,8 @@ fn main() {
     }
     println!("== Summary ==");
     print!("{}", summary.render());
-    println!("\n(imbalance = hottest link / mean active link; 1.0 = perfectly spread)");
+    println!("\n(imbalance = hottest link / mean active link; 1.0 = perfectly spread)\n");
+    println!("== Critical-path phase split (slowest rank) ==");
+    print!("{}", phases.render());
+    println!("\n(queue columns: total time messages spent waiting for busy links / the injection engine)");
 }

@@ -1,0 +1,180 @@
+//! Observability driver: run one (machine, collective, m, p) point under
+//! full instrumentation and emit
+//!
+//! * a Chrome Trace Event JSON file (open in Perfetto or
+//!   `chrome://tracing`) with one track per rank and flow arrows for
+//!   every message,
+//! * a metrics snapshot JSON with the run manifest,
+//! * a text report: manifest header, metrics table, and an ASCII
+//!   link-utilization heatmap.
+//!
+//! ```text
+//! cargo run -p bench --bin observe -- --machine t3d --op bcast -p 64 -m 4096
+//! ```
+
+use mpisim::comm::RunOptions;
+use mpisim::{observe, Machine, OpClass, Rank};
+use obs::MetricsRegistry;
+
+struct Args {
+    machine: Machine,
+    op: OpClass,
+    p: usize,
+    m: u32,
+    out_dir: String,
+}
+
+fn parse_machine(name: &str) -> Option<Machine> {
+    match name.to_ascii_lowercase().as_str() {
+        "sp2" => Some(Machine::sp2()),
+        "t3d" => Some(Machine::t3d()),
+        "paragon" => Some(Machine::paragon()),
+        _ => None,
+    }
+}
+
+fn parse_op(name: &str) -> Option<OpClass> {
+    let lower = name.to_ascii_lowercase();
+    OpClass::ALL
+        .into_iter()
+        .find(|op| op.key() == lower || op.paper_name().to_ascii_lowercase() == lower)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut machine = None;
+    let mut op = None;
+    let mut p = 64usize;
+    let mut m = 4096u32;
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--machine" => machine = parse_machine(&value()),
+            "--op" => op = parse_op(&value()),
+            "-p" | "--nodes" => p = value().parse().unwrap_or_else(|_| usage()),
+            "-m" | "--bytes" => m = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => out_dir = value(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+    }
+    let Some(machine) = machine else { usage() };
+    let Some(op) = op else { usage() };
+    Args {
+        machine,
+        op,
+        p,
+        m,
+        out_dir,
+    }
+}
+
+/// One shade per link, busy time normalized against the hottest link.
+fn heatmap(loads: &[(usize, desim::SimDuration)], links: usize) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut busy_us = vec![0.0f64; links];
+    for &(id, b) in loads {
+        if let Some(cell) = busy_us.get_mut(id) {
+            *cell = b.as_micros_f64();
+        }
+    }
+    let max = busy_us.iter().cloned().fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "link-utilization heatmap ({links} links, '@' = hottest {max:.0} us, ' ' = idle)\n"
+    ));
+    for (row, chunk) in busy_us.chunks(64).enumerate() {
+        let cells: String = chunk
+            .iter()
+            .map(|&b| {
+                if max <= 0.0 {
+                    ' '
+                } else {
+                    let idx = ((b / max) * (SHADES.len() - 1) as f64).round() as usize;
+                    SHADES[idx.min(SHADES.len() - 1)]
+                }
+            })
+            .collect();
+        out.push_str(&format!("  l{:<5} |{cells}|\n", row * 64));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = &args.machine;
+    let bytes = if args.op == OpClass::Barrier {
+        0
+    } else {
+        args.m
+    };
+    let comm = machine.communicator(args.p).expect("communicator size");
+    let schedule = comm
+        .schedule(args.op, Rank(0), bytes)
+        .expect("schedule build");
+    let (out, observed) = comm
+        .run_observed(&[&schedule], RunOptions::default())
+        .expect("observed execution");
+
+    let wire = machine.wire_config();
+    let manifest = obs::RunManifest::new(machine.name())
+        .param("op", args.op.key())
+        .param("p", args.p)
+        .param("m_bytes", bytes)
+        .param("start", "cold, no skew")
+        .param("link_contention", wire.link_contention)
+        .param("nic_serialization", wire.nic_serialization)
+        .param("wormhole", wire.wormhole)
+        .param(
+            "segment_bytes",
+            wire.segment_bytes
+                .map_or("none".to_string(), |s| s.to_string()),
+        );
+
+    let mut reg = MetricsRegistry::new();
+    observe::export_metrics(&out, &observed, &mut reg);
+
+    let stem = format!(
+        "observe_{}_{}_p{}_m{}",
+        args.machine.name().to_ascii_lowercase().replace(' ', "_"),
+        args.op.key(),
+        args.p,
+        bytes
+    );
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let trace_path = format!("{}/{stem}.trace.json", args.out_dir);
+    let metrics_path = format!("{}/{stem}.metrics.json", args.out_dir);
+
+    let trace = observe::chrome_trace(machine.name(), &out, &observed);
+    std::fs::write(&trace_path, trace.to_json_string()).expect("write trace");
+    let snapshot = observe::snapshot(&manifest, &reg);
+    std::fs::write(&metrics_path, snapshot.to_string_pretty()).expect("write metrics");
+
+    println!("{}", report::metrics::render(&manifest, &reg));
+    println!();
+    let links = observed.net.link_bytes.len();
+    println!(
+        "{}",
+        heatmap(
+            &out.link_loads
+                .iter()
+                .map(|&(id, b)| (id, b))
+                .collect::<Vec<_>>(),
+            links
+        )
+    );
+    println!("wrote {trace_path} ({} events)", trace.len());
+    println!("wrote {metrics_path} ({} metrics)", reg.len());
+    println!("open the trace at https://ui.perfetto.dev (drag & drop the .trace.json)");
+}

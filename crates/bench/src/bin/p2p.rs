@@ -33,9 +33,8 @@ fn main() {
             let p = machine.spec().max_nodes.min(64);
             let comm = machine.communicator(p).expect("size");
             for (label, dst) in [("neighbour", 1usize), ("far corner", p - 1)] {
-                let measured =
-                    measure_pingpong(&comm, Rank(0), Rank(dst), &SIZES, &cli_protocol)
-                        .expect("pingpong");
+                let measured = measure_pingpong(&comm, Rank(0), Rank(dst), &SIZES, &cli_protocol)
+                    .expect("pingpong");
                 let mut samples = Vec::new();
                 let mut rows = Table::new(["m (B)", "latency (us)", "MB/s"]);
                 for s in measured {

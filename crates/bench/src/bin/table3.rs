@@ -24,7 +24,12 @@ fn main() {
     cli.maybe_write_csv("table3", &data);
 
     println!("\nTABLE 3 — fitted timing expressions T(m,p) = T0(p) + D(m,p)·m  [us; m in bytes]");
-    let mut table = Table::new(["Operation", "Machine", "Fitted (this work)", "Published (paper)"]);
+    let mut table = Table::new([
+        "Operation",
+        "Machine",
+        "Fitted (this work)",
+        "Published (paper)",
+    ]);
     for op in SIX_OPS.iter().copied().chain([OpClass::Barrier]) {
         for mach in machines() {
             let fitted = fit_surface(&data, mach.name(), op).expect("fit");

@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn symbols_distinct() {
-        let syms = [symbol("IBM SP2"), symbol("Cray T3D"), symbol("Intel Paragon")];
+        let syms = [
+            symbol("IBM SP2"),
+            symbol("Cray T3D"),
+            symbol("Intel Paragon"),
+        ];
         assert_eq!(
             syms.iter().collect::<std::collections::HashSet<_>>().len(),
             3

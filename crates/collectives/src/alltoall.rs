@@ -36,13 +36,22 @@ use netmodel::OpClass;
 /// ```
 pub fn pairwise(p: usize, bytes: u32) -> Schedule {
     assert!(p > 0, "empty communicator");
-    assert!(p.is_power_of_two(), "pairwise exchange requires a power of two");
+    assert!(
+        p.is_power_of_two(),
+        "pairwise exchange requires a power of two"
+    );
     let mut s = Schedule::new(OpClass::Alltoall, p);
     for r in 1..p {
         for i in 0..p {
             let partner = Rank(i ^ r);
             s.push(Rank(i), Step::Send { to: partner, bytes });
-            s.push(Rank(i), Step::Recv { from: partner, bytes });
+            s.push(
+                Rank(i),
+                Step::Recv {
+                    from: partner,
+                    bytes,
+                },
+            );
         }
     }
     s
@@ -88,7 +97,13 @@ pub fn bruck(p: usize, bytes: u32) -> Schedule {
             let to = Rank((i + step) % p);
             let from = Rank((i + p - step) % p);
             s.push(Rank(i), Step::Send { to, bytes: payload });
-            s.push(Rank(i), Step::Recv { from, bytes: payload });
+            s.push(
+                Rank(i),
+                Step::Recv {
+                    from,
+                    bytes: payload,
+                },
+            );
         }
         step <<= 1;
     }
@@ -143,11 +158,7 @@ mod tests {
         // 5 rounds, each rank one send per round.
         assert_eq!(b.total_messages(), p * 5);
         assert!(b.total_bytes() > r.total_bytes() / 2, "bruck moves plenty");
-        assert!(
-            b.message_depth() <= 5,
-            "log-depth: {}",
-            b.message_depth()
-        );
+        assert!(b.message_depth() <= 5, "log-depth: {}", b.message_depth());
         // Ring rounds chain through each rank's program order: depth p-1.
         assert_eq!(r.message_depth(), p - 1);
     }

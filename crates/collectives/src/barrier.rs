@@ -62,11 +62,23 @@ pub fn tree(p: usize) -> Schedule {
         let mut mask = 1usize;
         loop {
             if v & mask != 0 {
-                s.push(Rank(v), Step::Send { to: Rank(v - mask), bytes: TOKEN });
+                s.push(
+                    Rank(v),
+                    Step::Send {
+                        to: Rank(v - mask),
+                        bytes: TOKEN,
+                    },
+                );
                 break;
             }
             if v + mask < p {
-                s.push(Rank(v), Step::Recv { from: Rank(v + mask), bytes: TOKEN });
+                s.push(
+                    Rank(v),
+                    Step::Recv {
+                        from: Rank(v + mask),
+                        bytes: TOKEN,
+                    },
+                );
             }
             mask <<= 1;
             if mask >= (1 << l) {
@@ -80,7 +92,13 @@ pub fn tree(p: usize) -> Schedule {
         let mut mask = 1usize;
         while mask < (1 << l) {
             if v & mask != 0 {
-                s.push(Rank(v), Step::Recv { from: Rank(v - mask), bytes: TOKEN });
+                s.push(
+                    Rank(v),
+                    Step::Recv {
+                        from: Rank(v - mask),
+                        bytes: TOKEN,
+                    },
+                );
                 recv_mask = mask;
                 break;
             }
@@ -90,7 +108,13 @@ pub fn tree(p: usize) -> Schedule {
         mask >>= 1;
         while mask > 0 {
             if v + mask < p {
-                s.push(Rank(v), Step::Send { to: Rank(v + mask), bytes: TOKEN });
+                s.push(
+                    Rank(v),
+                    Step::Send {
+                        to: Rank(v + mask),
+                        bytes: TOKEN,
+                    },
+                );
             }
             mask >>= 1;
         }
@@ -114,7 +138,6 @@ pub fn hardware(p: usize) -> Schedule {
     s
 }
 
-
 /// Pairwise-exchange barrier: for power-of-two sizes, `log2 p` rounds of
 /// XOR-partner token exchanges (both directions per round). For other
 /// sizes it falls back to [`dissemination`].
@@ -132,8 +155,20 @@ pub fn pairwise(p: usize) -> Schedule {
     while mask < p {
         for i in 0..p {
             let partner = Rank(i ^ mask);
-            s.push(Rank(i), Step::Send { to: partner, bytes: TOKEN });
-            s.push(Rank(i), Step::Recv { from: partner, bytes: TOKEN });
+            s.push(
+                Rank(i),
+                Step::Send {
+                    to: partner,
+                    bytes: TOKEN,
+                },
+            );
+            s.push(
+                Rank(i),
+                Step::Recv {
+                    from: partner,
+                    bytes: TOKEN,
+                },
+            );
         }
         mask <<= 1;
     }
@@ -182,9 +217,7 @@ mod tests {
         let s = hardware(64);
         assert!(s.check().is_ok());
         assert_eq!(s.total_messages(), 0);
-        assert!(s
-            .iter()
-            .all(|(_, prog)| prog == [Step::HwBarrier]));
+        assert!(s.iter().all(|(_, prog)| prog == [Step::HwBarrier]));
     }
 
     #[test]

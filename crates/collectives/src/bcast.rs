@@ -95,7 +95,6 @@ pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
     s
 }
 
-
 /// Scatter–allgather broadcast (van de Geijn): the root binomial-scatters
 /// `bytes` into `p` blocks, then a ring allgather reassembles the full
 /// message everywhere. Moves each byte ~twice but pipelines both phases —
@@ -121,9 +120,7 @@ pub fn scatter_allgather(p: usize, root: Rank, bytes: u32) -> Schedule {
         end - start
     };
     // Bytes covering virtual ranks [v, v+span), for the scatter tree.
-    let span_bytes = |v: usize, span: usize| -> u32 {
-        (v..(v + span).min(p)).map(owned).sum()
-    };
+    let span_bytes = |v: usize, span: usize| -> u32 { (v..(v + span).min(p)).map(owned).sum() };
     let abs = |vr: usize| Rank((vr + root.0) % p);
     let l = ceil_log2(p);
 
@@ -137,7 +134,13 @@ pub fn scatter_allgather(p: usize, root: Rank, bytes: u32) -> Schedule {
             if v & mask != 0 {
                 let b = span_bytes(v, mask);
                 if b > 0 {
-                    s.push(me, Step::Recv { from: abs(v - mask), bytes: b });
+                    s.push(
+                        me,
+                        Step::Recv {
+                            from: abs(v - mask),
+                            bytes: b,
+                        },
+                    );
                 }
                 recv_mask = mask;
                 break;
@@ -150,7 +153,13 @@ pub fn scatter_allgather(p: usize, root: Rank, bytes: u32) -> Schedule {
             if v + mask < p {
                 let b = span_bytes(v + mask, mask);
                 if b > 0 {
-                    s.push(me, Step::Send { to: abs(v + mask), bytes: b });
+                    s.push(
+                        me,
+                        Step::Send {
+                            to: abs(v + mask),
+                            bytes: b,
+                        },
+                    );
                 }
             }
             mask >>= 1;
@@ -166,16 +175,27 @@ pub fn scatter_allgather(p: usize, root: Rank, bytes: u32) -> Schedule {
             let send_block = owned((v + p - (r - 1)) % p);
             let recv_block = owned((v + p - r) % p);
             if send_block > 0 {
-                s.push(abs(v), Step::Send { to, bytes: send_block });
+                s.push(
+                    abs(v),
+                    Step::Send {
+                        to,
+                        bytes: send_block,
+                    },
+                );
             }
             if recv_block > 0 {
-                s.push(abs(v), Step::Recv { from, bytes: recv_block });
+                s.push(
+                    abs(v),
+                    Step::Recv {
+                        from,
+                        bytes: recv_block,
+                    },
+                );
             }
         }
     }
     s
 }
-
 
 /// Pipelined chain broadcast: the message is carved into segments that
 /// stream down the rank chain `root → root+1 → …`; once the pipe fills,
@@ -205,10 +225,22 @@ pub fn pipelined(p: usize, root: Rank, bytes: u32, segment: u32) -> Schedule {
         let me = abs(v);
         for &chunk in &chunks {
             if v > 0 {
-                s.push(me, Step::Recv { from: abs(v - 1), bytes: chunk });
+                s.push(
+                    me,
+                    Step::Recv {
+                        from: abs(v - 1),
+                        bytes: chunk,
+                    },
+                );
             }
             if v + 1 < p {
-                s.push(me, Step::Send { to: abs(v + 1), bytes: chunk });
+                s.push(
+                    me,
+                    Step::Send {
+                        to: abs(v + 1),
+                        bytes: chunk,
+                    },
+                );
             }
         }
     }
@@ -224,7 +256,8 @@ mod tests {
         for p in 1..=33 {
             for root in [0, p / 2, p - 1] {
                 let s = binomial(p, Rank(root), 64);
-                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                s.check()
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
                 assert_eq!(s.total_messages(), p - 1, "p={p}");
             }
         }
@@ -344,7 +377,8 @@ mod tests {
         for p in 1..=17 {
             for (bytes, seg) in [(0u32, 512u32), (100, 512), (10_000, 512), (10_000, 3_000)] {
                 let s = pipelined(p, Rank(0), bytes, seg);
-                s.check().unwrap_or_else(|e| panic!("p={p} m={bytes} seg={seg}: {e}"));
+                s.check()
+                    .unwrap_or_else(|e| panic!("p={p} m={bytes} seg={seg}: {e}"));
             }
         }
         // Total bytes: every non-terminal rank forwards the full message.

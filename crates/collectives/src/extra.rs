@@ -73,7 +73,13 @@ pub fn allreduce_recursive_doubling(p: usize, bytes: u32) -> Schedule {
         for i in 0..pof2 {
             let partner = Rank(i ^ mask);
             s.push(Rank(i), Step::Send { to: partner, bytes });
-            s.push(Rank(i), Step::Recv { from: partner, bytes });
+            s.push(
+                Rank(i),
+                Step::Recv {
+                    from: partner,
+                    bytes,
+                },
+            );
             s.push(Rank(i), Step::Compute { bytes });
         }
         mask <<= 1;
@@ -82,7 +88,13 @@ pub fn allreduce_recursive_doubling(p: usize, bytes: u32) -> Schedule {
     for i in 0..rem {
         let extra = Rank(pof2 + i);
         s.push(Rank(i), Step::Send { to: extra, bytes });
-        s.push(extra, Step::Recv { from: Rank(i), bytes });
+        s.push(
+            extra,
+            Step::Recv {
+                from: Rank(i),
+                bytes,
+            },
+        );
     }
     s
 }
@@ -109,7 +121,6 @@ pub fn reduce_scatter_pairwise(p: usize, bytes: u32) -> Schedule {
     }
     s
 }
-
 
 /// Rabenseifner allreduce: a pairwise reduce-scatter (each rank ends
 /// with one reduced block) followed by a ring allgather of the blocks.
@@ -145,7 +156,13 @@ pub fn allreduce_rabenseifner(p: usize, bytes: u32) -> Schedule {
                 s.push(Rank(i), Step::Send { to, bytes: send_b });
             }
             if recv_b > 0 {
-                s.push(Rank(i), Step::Recv { from, bytes: recv_b });
+                s.push(
+                    Rank(i),
+                    Step::Recv {
+                        from,
+                        bytes: recv_b,
+                    },
+                );
                 s.push(Rank(i), Step::Compute { bytes: recv_b });
             }
         }
@@ -161,7 +178,13 @@ pub fn allreduce_rabenseifner(p: usize, bytes: u32) -> Schedule {
                 s.push(Rank(i), Step::Send { to, bytes: send_b });
             }
             if recv_b > 0 {
-                s.push(Rank(i), Step::Recv { from, bytes: recv_b });
+                s.push(
+                    Rank(i),
+                    Step::Recv {
+                        from,
+                        bytes: recv_b,
+                    },
+                );
             }
         }
     }

@@ -34,7 +34,13 @@ pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
             continue;
         }
         s.push(Rank(i), Step::Send { to: root, bytes });
-        s.push(root, Step::Recv { from: Rank(i), bytes });
+        s.push(
+            root,
+            Step::Recv {
+                from: Rank(i),
+                bytes,
+            },
+        );
     }
     s
 }
@@ -110,7 +116,8 @@ mod tests {
         for p in 1..=33 {
             for root in [0, p / 3, p - 1] {
                 let s = binomial(p, Rank(root), 64);
-                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                s.check()
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
             }
         }
     }

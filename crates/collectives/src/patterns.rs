@@ -102,16 +102,45 @@ pub fn master_worker(
     let master = Rank(0);
     for _ in 0..rounds {
         for w in 1..p {
-            s.push(master, Step::Send { to: Rank(w), bytes: task_bytes });
+            s.push(
+                master,
+                Step::Send {
+                    to: Rank(w),
+                    bytes: task_bytes,
+                },
+            );
         }
         for w in 1..p {
             let worker = Rank(w);
-            s.push(worker, Step::Recv { from: master, bytes: task_bytes });
+            s.push(
+                worker,
+                Step::Recv {
+                    from: master,
+                    bytes: task_bytes,
+                },
+            );
             if compute_bytes > 0 {
-                s.push(worker, Step::Compute { bytes: compute_bytes });
+                s.push(
+                    worker,
+                    Step::Compute {
+                        bytes: compute_bytes,
+                    },
+                );
             }
-            s.push(worker, Step::Send { to: master, bytes: result_bytes });
-            s.push(master, Step::Recv { from: worker, bytes: result_bytes });
+            s.push(
+                worker,
+                Step::Send {
+                    to: master,
+                    bytes: result_bytes,
+                },
+            );
+            s.push(
+                master,
+                Step::Recv {
+                    from: worker,
+                    bytes: result_bytes,
+                },
+            );
         }
     }
     s

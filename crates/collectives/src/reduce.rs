@@ -39,11 +39,23 @@ pub fn binomial(p: usize, root: Rank, bytes: u32) -> Schedule {
         let mut mask = 1usize;
         loop {
             if v & mask != 0 {
-                s.push(me, Step::Send { to: abs(v - mask), bytes });
+                s.push(
+                    me,
+                    Step::Send {
+                        to: abs(v - mask),
+                        bytes,
+                    },
+                );
                 break;
             }
             if v + mask < p {
-                s.push(me, Step::Recv { from: abs(v + mask), bytes });
+                s.push(
+                    me,
+                    Step::Recv {
+                        from: abs(v + mask),
+                        bytes,
+                    },
+                );
                 s.push(me, Step::Compute { bytes });
             }
             mask <<= 1;
@@ -70,7 +82,13 @@ pub fn linear(p: usize, root: Rank, bytes: u32) -> Schedule {
             continue;
         }
         s.push(Rank(i), Step::Send { to: root, bytes });
-        s.push(root, Step::Recv { from: Rank(i), bytes });
+        s.push(
+            root,
+            Step::Recv {
+                from: Rank(i),
+                bytes,
+            },
+        );
         s.push(root, Step::Compute { bytes });
     }
     s
@@ -85,7 +103,8 @@ mod tests {
         for p in 1..=33 {
             for root in [0, p / 2, p - 1] {
                 let s = binomial(p, Rank(root), 64);
-                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                s.check()
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
                 assert_eq!(s.total_messages(), p - 1);
             }
         }

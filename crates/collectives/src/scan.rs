@@ -34,10 +34,22 @@ pub fn recursive_doubling(p: usize, bytes: u32) -> Schedule {
             // Eager send of the current partial, then the blocking
             // combine from below.
             if i + mask < p {
-                s.push(Rank(i), Step::Send { to: Rank(i + mask), bytes });
+                s.push(
+                    Rank(i),
+                    Step::Send {
+                        to: Rank(i + mask),
+                        bytes,
+                    },
+                );
             }
             if i >= mask {
-                s.push(Rank(i), Step::Recv { from: Rank(i - mask), bytes });
+                s.push(
+                    Rank(i),
+                    Step::Recv {
+                        from: Rank(i - mask),
+                        bytes,
+                    },
+                );
                 s.push(Rank(i), Step::Compute { bytes });
             }
         }
@@ -57,9 +69,21 @@ pub fn linear(p: usize, bytes: u32) -> Schedule {
     assert!(p > 0, "empty communicator");
     let mut s = Schedule::new(OpClass::Scan, p);
     for i in 0..p.saturating_sub(1) {
-        s.push(Rank(i + 1), Step::Recv { from: Rank(i), bytes });
+        s.push(
+            Rank(i + 1),
+            Step::Recv {
+                from: Rank(i),
+                bytes,
+            },
+        );
         s.push(Rank(i + 1), Step::Compute { bytes });
-        s.push(Rank(i), Step::Send { to: Rank(i + 1), bytes });
+        s.push(
+            Rank(i),
+            Step::Send {
+                to: Rank(i + 1),
+                bytes,
+            },
+        );
     }
     s
 }

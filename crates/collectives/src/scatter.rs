@@ -117,7 +117,8 @@ mod tests {
         for p in 1..=33 {
             for root in [0, p - 1] {
                 let s = binomial(p, Rank(root), 64);
-                s.check().unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+                s.check()
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
             }
         }
     }
@@ -136,7 +137,10 @@ mod tests {
         assert!(bin.total_bytes() > lin.total_bytes());
         // Root sends halves: 16*100 + 8*100 + ... + 1*100 = 3100 at root,
         // plus internal forwarding.
-        assert_eq!(bin.total_bytes(), 100 * (16 + 8 + 4 + 2 + 1) as u64 + 100 * 49);
+        assert_eq!(
+            bin.total_bytes(),
+            100 * (16 + 8 + 4 + 2 + 1) as u64 + 100 * 49
+        );
     }
 
     #[test]

@@ -104,10 +104,7 @@ impl std::fmt::Display for ScheduleError {
                 to,
                 sent,
                 expected,
-            } => write!(
-                f,
-                "{from} sent {sent} bytes but {to} expected {expected}"
-            ),
+            } => write!(f, "{from} sent {sent} bytes but {to} expected {expected}"),
             ScheduleError::UnconsumedMessages { count } => {
                 write!(f, "{count} sent messages were never received")
             }
@@ -242,9 +239,7 @@ impl Schedule {
     pub fn influence(&self) -> Option<Vec<Vec<bool>>> {
         let p = self.ranks();
         let mut pc = vec![0usize; p];
-        let mut sets: Vec<Vec<bool>> = (0..p)
-            .map(|r| (0..p).map(|i| i == r).collect())
-            .collect();
+        let mut sets: Vec<Vec<bool>> = (0..p).map(|r| (0..p).map(|i| i == r).collect()).collect();
         let mut inflight: HashMap<(usize, usize), VecDeque<Vec<bool>>> = HashMap::new();
         loop {
             let mut progressed = false;
@@ -271,7 +266,11 @@ impl Schedule {
                     progressed = true;
                 }
             }
-            if pc.iter().enumerate().all(|(r, &c)| c == self.programs[r].len()) {
+            if pc
+                .iter()
+                .enumerate()
+                .all(|(r, &c)| c == self.programs[r].len())
+            {
                 return Some(sets);
             }
             if !progressed {
@@ -298,10 +297,7 @@ impl Schedule {
                     match self.programs[r][pc[r]] {
                         Step::Send { to, bytes } => {
                             let d = rank_depth[r] + 1;
-                            inflight
-                                .entry((r, to.0))
-                                .or_default()
-                                .push_back((bytes, d));
+                            inflight.entry((r, to.0)).or_default().push_back((bytes, d));
                             max_depth = max_depth.max(d);
                         }
                         Step::Recv { from, bytes } => {
@@ -329,7 +325,11 @@ impl Schedule {
                     progressed = true;
                 }
             }
-            if pc.iter().enumerate().all(|(r, &c)| c == self.programs[r].len()) {
+            if pc
+                .iter()
+                .enumerate()
+                .all(|(r, &c)| c == self.programs[r].len())
+            {
                 let leftovers: usize = inflight.values().map(VecDeque::len).sum();
                 if leftovers > 0 {
                     return Err(ScheduleError::UnconsumedMessages { count: leftovers });

@@ -215,7 +215,10 @@ mod tests {
             Algorithm::Dissemination
         );
         // Generic table never picks hardware.
-        assert_eq!(generic_algorithm(OpClass::Barrier), Algorithm::Dissemination);
+        assert_eq!(
+            generic_algorithm(OpClass::Barrier),
+            Algorithm::Dissemination
+        );
     }
 
     #[test]
@@ -227,7 +230,14 @@ mod tests {
 
     #[test]
     fn extended_algorithms_build() {
-        let s = build(Algorithm::ScatterAllgather, OpClass::Bcast, 12, Rank(0), 9_999).unwrap();
+        let s = build(
+            Algorithm::ScatterAllgather,
+            OpClass::Bcast,
+            12,
+            Rank(0),
+            9_999,
+        )
+        .unwrap();
         assert!(s.check().is_ok());
         let s = build(Algorithm::Pipelined, OpClass::Bcast, 12, Rank(0), 9_999).unwrap();
         assert!(s.check().is_ok());
@@ -258,11 +268,7 @@ mod tests {
                     | Algorithm::Tree
                     | Algorithm::Hardware
             );
-            assert_eq!(
-                logish,
-                class.startup_is_logarithmic(),
-                "{class} / {alg:?}"
-            );
+            assert_eq!(logish, class.startup_is_logarithmic(), "{class} / {alg:?}");
         }
     }
 }

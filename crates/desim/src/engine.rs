@@ -76,7 +76,11 @@ impl<W> Scheduler<W> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(Scheduled { at, seq, run: event });
+        self.pending.push(Scheduled {
+            at,
+            seq,
+            run: event,
+        });
     }
 }
 
@@ -152,6 +156,7 @@ pub struct Engine<W> {
     scheduler: Scheduler<W>,
     fired: u64,
     event_limit: u64,
+    queue_high_water: usize,
 }
 
 impl<W> Default for Engine<W> {
@@ -187,6 +192,7 @@ impl<W> Engine<W> {
             },
             fired: 0,
             event_limit: Self::DEFAULT_EVENT_LIMIT,
+            queue_high_water: 0,
         }
     }
 
@@ -205,6 +211,31 @@ impl<W> Engine<W> {
     /// Number of events fired so far.
     pub fn events_fired(&self) -> u64 {
         self.fired
+    }
+
+    /// Largest number of simultaneously pending events seen so far —
+    /// the queue-depth high-water mark.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Which pending-set backend this engine uses: `"heap"` or
+    /// `"calendar"`.
+    pub fn queue_backend(&self) -> &'static str {
+        match self.queue {
+            Queue::Heap(_) => "heap",
+            Queue::Calendar(_) => "calendar",
+        }
+    }
+
+    /// Exports engine counters into a metrics registry: events fired,
+    /// current and high-water queue occupancy, and a backend indicator
+    /// (`engine.queue.backend.heap` / `.calendar`).
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter("engine.events_fired", self.fired);
+        reg.gauge("engine.queue.high_water", self.queue_high_water as f64);
+        reg.gauge("engine.queue.len", self.queue.len() as f64);
+        reg.counter(format!("engine.queue.backend.{}", self.queue_backend()), 1);
     }
 
     /// True when no events remain.
@@ -232,6 +263,7 @@ impl<W> Engine<W> {
         for ev in self.scheduler.pending.drain(..) {
             self.queue.push(ev);
         }
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     /// Fires the single earliest event, advancing the clock to its
@@ -386,6 +418,35 @@ mod tests {
             Box::new(|s, _w: &mut World| rearm(s)),
         );
         e.run(&mut w);
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_occupancy() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        for t in 1..=5 {
+            e.schedule_at(SimTime::from_nanos(t), record("x"));
+        }
+        assert_eq!(e.queue_high_water(), 5);
+        e.run(&mut w);
+        assert_eq!(e.queue_high_water(), 5, "high water survives the drain");
+        assert_eq!(e.queue_backend(), "heap");
+        assert_eq!(
+            Engine::<World>::with_calendar_queue().queue_backend(),
+            "calendar"
+        );
+
+        let mut reg = obs::MetricsRegistry::new();
+        e.export_metrics(&mut reg);
+        assert_eq!(reg.get("engine.events_fired").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            reg.get("engine.queue.high_water").unwrap().as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(
+            reg.get("engine.queue.backend.heap").unwrap().as_f64(),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod calqueue;
+pub mod check;
 pub mod engine;
 pub mod resource;
 pub mod rng;

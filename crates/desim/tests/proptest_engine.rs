@@ -1,16 +1,16 @@
 //! Property-based tests of the simulation kernel: event ordering,
-//! resource FIFO invariants, statistics correctness.
+//! resource FIFO invariants, statistics correctness. Runs on the
+//! in-repo deterministic harness ([`desim::check`]).
 
+use desim::check::forall;
 use desim::{Engine, FifoResource, SimDuration, SimTime, SplitMix64, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events fire in non-decreasing time order regardless of the
-    /// scheduling order, and all of them fire.
-    #[test]
-    fn events_fire_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events fire in non-decreasing time order regardless of the
+/// scheduling order, and all of them fire.
+#[test]
+fn events_fire_sorted() {
+    forall("events fire sorted", 64, |g| {
+        let times = g.vec_u64(1, 200, 0, 999_999);
         let mut engine: Engine<Vec<u64>> = Engine::new();
         for &t in &times {
             engine.schedule_at(
@@ -20,76 +20,87 @@ proptest! {
         }
         let mut fired = Vec::new();
         let end = engine.run(&mut fired);
-        prop_assert_eq!(fired.len(), times.len());
-        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(fired.len(), times.len());
+        assert!(fired.windows(2).all(|w| w[0] <= w[1]));
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&fired, &sorted);
-        prop_assert_eq!(end.as_nanos(), *sorted.last().unwrap());
-    }
+        assert_eq!(&fired, &sorted);
+        assert_eq!(end.as_nanos(), *sorted.last().unwrap());
+    });
+}
 
-    /// FIFO resource grants never overlap, preserve request order, and
-    /// account busy time exactly.
-    #[test]
-    fn resource_grants_never_overlap(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
-    ) {
+/// FIFO resource grants never overlap, preserve request order, and
+/// account busy time exactly.
+#[test]
+fn resource_grants_never_overlap() {
+    forall("resource grants never overlap", 64, |g| {
+        let n = g.usize(1, 100);
+        let mut reqs: Vec<(u64, u64)> = (0..n).map(|_| (g.u64(0, 9_999), g.u64(1, 499))).collect();
         // Requests must arrive in non-decreasing time order, as the
         // engine produces them.
-        let mut sorted = reqs.clone();
-        sorted.sort_by_key(|&(at, _)| at);
+        reqs.sort_by_key(|&(at, _)| at);
         let mut r = FifoResource::new();
         let mut prev_end = SimTime::ZERO;
         let mut total = SimDuration::ZERO;
-        for &(at, dur) in &sorted {
-            let g = r.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(dur));
-            prop_assert!(g.start >= prev_end, "grants overlap");
-            prop_assert!(g.start >= SimTime::from_nanos(at), "served before request");
-            prop_assert_eq!(g.end - g.start, SimDuration::from_nanos(dur));
-            prev_end = g.end;
+        for &(at, dur) in &reqs {
+            let grant = r.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(dur));
+            assert!(grant.start >= prev_end, "grants overlap");
+            assert!(
+                grant.start >= SimTime::from_nanos(at),
+                "served before request"
+            );
+            assert_eq!(grant.end - grant.start, SimDuration::from_nanos(dur));
+            prev_end = grant.end;
             total += SimDuration::from_nanos(dur);
         }
-        prop_assert_eq!(r.busy_time(), total);
-        prop_assert_eq!(r.grants(), sorted.len() as u64);
-        prop_assert!(r.utilization(prev_end) <= 1.0 + f64::EPSILON);
-    }
+        assert_eq!(r.busy_time(), total);
+        assert_eq!(r.grants(), reqs.len() as u64);
+        assert!(r.utilization(prev_end) <= 1.0 + f64::EPSILON);
+    });
+}
 
-    /// Welford summary matches naive two-pass statistics.
-    #[test]
-    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+/// Welford summary matches naive two-pass statistics.
+#[test]
+fn summary_matches_naive() {
+    forall("summary matches naive", 64, |g| {
+        let xs = g.vec_f64(1, 500, -1e6, 1e6);
         let s: Summary = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert_eq!(s.count(), xs.len() as u64);
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
-    }
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+    });
+}
 
-    /// Merged summaries equal bulk summaries.
-    #[test]
-    fn summary_merge_associative(
-        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
-        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
-    ) {
+/// Merged summaries equal bulk summaries.
+#[test]
+fn summary_merge_associative() {
+    forall("summary merge associative", 64, |g| {
+        let xs = g.vec_f64(0, 100, -1e3, 1e3);
+        let ys = g.vec_f64(0, 100, -1e3, 1e3);
         let bulk: Summary = xs.iter().chain(&ys).copied().collect();
         let mut merged: Summary = xs.iter().copied().collect();
         merged.merge(&ys.iter().copied().collect());
-        prop_assert_eq!(merged.count(), bulk.count());
+        assert_eq!(merged.count(), bulk.count());
         if bulk.count() > 0 {
-            prop_assert!((merged.mean() - bulk.mean()).abs() < 1e-9 * (1.0 + bulk.mean().abs()));
-            prop_assert!((merged.variance() - bulk.variance()).abs() < 1e-6 * (1.0 + bulk.variance()));
+            assert!((merged.mean() - bulk.mean()).abs() < 1e-9 * (1.0 + bulk.mean().abs()));
+            assert!((merged.variance() - bulk.variance()).abs() < 1e-6 * (1.0 + bulk.variance()));
         }
-    }
+    });
+}
 
-    /// The calendar-queue engine fires the exact same sequence as the
-    /// heap engine — including FIFO tie-breaking.
-    #[test]
-    fn calendar_engine_matches_heap(times in prop::collection::vec(0u64..5_000_000, 1..300)) {
+/// The calendar-queue engine fires the exact same sequence as the
+/// heap engine — including FIFO tie-breaking.
+#[test]
+fn calendar_engine_matches_heap() {
+    forall("calendar engine matches heap", 64, |g| {
+        let times = g.vec_u64(1, 300, 0, 4_999_999);
         let run = |mut engine: Engine<Vec<(u64, usize)>>| {
             let mut fired = Vec::new();
             for (i, &t) in times.iter().enumerate() {
@@ -105,13 +116,16 @@ proptest! {
         };
         let heap = run(Engine::new());
         let calendar = run(Engine::with_calendar_queue());
-        prop_assert_eq!(heap, calendar);
-    }
+        assert_eq!(heap, calendar);
+    });
+}
 
-    /// Calendar queue standalone: pops are globally sorted for any
-    /// workload, including cascading events.
-    #[test]
-    fn calendar_engine_cascading_events(seed in any::<u64>()) {
+/// Calendar queue standalone: pops are globally sorted for any
+/// workload, including cascading events.
+#[test]
+fn calendar_engine_cascading_events() {
+    forall("calendar engine cascading events", 64, |g| {
+        let seed = g.u64(0, u64::MAX);
         let mut engine: Engine<Vec<u64>> = Engine::with_calendar_queue();
         let mut rng = SplitMix64::new(seed);
         for _ in 0..20 {
@@ -130,26 +144,34 @@ proptest! {
         }
         let mut fired = Vec::new();
         engine.run(&mut fired);
-        prop_assert_eq!(fired.len(), 40);
-        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
-    }
+        assert_eq!(fired.len(), 40);
+        assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
 
-    /// The RNG's bounded generator is uniform enough and in range.
-    #[test]
-    fn rng_bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000) {
+/// The RNG's bounded generator is uniform enough and in range.
+#[test]
+fn rng_bounded_in_range() {
+    forall("rng bounded in range", 64, |g| {
+        let seed = g.u64(0, u64::MAX);
+        let bound = g.u64(1, 999);
         let mut rng = SplitMix64::new(seed);
         for _ in 0..200 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
         }
-    }
+    });
+}
 
-    /// Time arithmetic: (a + d) - a == d and ordering is consistent.
-    #[test]
-    fn time_arithmetic_round_trips(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic: (a + d) - a == d and ordering is consistent.
+#[test]
+fn time_arithmetic_round_trips() {
+    forall("time arithmetic round trips", 64, |g| {
+        let a = g.u64(0, u64::MAX / 4);
+        let d = g.u64(0, u64::MAX / 4);
         let t = SimTime::from_nanos(a);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t + dur) - t, dur);
-        prop_assert!(t + dur >= t);
-        prop_assert_eq!(t.abs_diff(t + dur), dur);
-    }
+        assert_eq!((t + dur) - t, dur);
+        assert!(t + dur >= t);
+        assert_eq!(t.abs_diff(t + dur), dur);
+    });
 }

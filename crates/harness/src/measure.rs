@@ -17,8 +17,8 @@
 //! processes logically. It does not time-synchronize the processes."
 
 use crate::protocol::Protocol;
-use desim::{SplitMix64, SimTime};
-use mpisim::{comm::RunOptions, CpuNoise, Communicator, OpClass, Rank, Schedule, SimMpiError};
+use desim::{SimTime, SplitMix64};
+use mpisim::{comm::RunOptions, Communicator, CpuNoise, OpClass, Rank, Schedule, SimMpiError};
 
 /// One measured data point `T(m, p)` for an operation on a machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +45,8 @@ pub struct Measurement {
 impl Measurement {
     /// Aggregated message volume `f(m, p)` of this point (§3).
     pub fn aggregated_bytes(&self) -> u64 {
-        self.op.aggregated_bytes(u64::from(self.bytes), self.nodes as u64)
+        self.op
+            .aggregated_bytes(u64::from(self.bytes), self.nodes as u64)
     }
 
     /// Aggregated bandwidth `R(m, p) = f(m, p) / D` in MB/s, given a
@@ -88,9 +89,7 @@ pub fn measure(
     bytes: u32,
     protocol: &Protocol,
 ) -> Result<Measurement, SimMpiError> {
-    protocol
-        .validate()
-        .map_err(SimMpiError::InvalidSpec)?;
+    protocol.validate().map_err(SimMpiError::InvalidSpec)?;
     let p = comm.size();
     let barrier = comm.schedule(OpClass::Barrier, Rank(0), 0)?;
     let coll = comm.schedule(op, Rank(0), bytes)?;
@@ -207,7 +206,12 @@ mod tests {
         let comm = Machine::paragon().communicator(16).unwrap();
         let cold = comm.bcast(Rank(0), 4096).unwrap().time().as_micros_f64();
         let meas = measure(&comm, OpClass::Bcast, 4096, &Protocol::quick()).unwrap();
-        assert!(meas.time_us <= cold * 1.6, "meas {} vs cold {}", meas.time_us, cold);
+        assert!(
+            meas.time_us <= cold * 1.6,
+            "meas {} vs cold {}",
+            meas.time_us,
+            cold
+        );
     }
 
     #[test]

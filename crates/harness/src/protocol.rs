@@ -112,7 +112,10 @@ impl Protocol {
             return Err("repetitions must be positive".into());
         }
         if !self.os_noise.is_finite() || self.os_noise < 0.0 {
-            return Err(format!("os_noise must be finite and >= 0, got {}", self.os_noise));
+            return Err(format!(
+                "os_noise must be finite and >= 0, got {}",
+                self.os_noise
+            ));
         }
         Ok(())
     }

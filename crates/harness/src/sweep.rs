@@ -165,6 +165,60 @@ impl SweepBuilder {
     pub fn run(&self) -> Result<Dataset, SimMpiError> {
         self.run_with_progress(|_, _| {})
     }
+
+    /// A provenance manifest for this sweep: the grid, the machine list,
+    /// and every protocol knob, so an exported dataset is reproducible
+    /// from its own header.
+    pub fn manifest(&self) -> obs::RunManifest {
+        let names: Vec<&str> = self.machines.iter().map(Machine::name).collect();
+        let ops: Vec<&str> = self.ops.iter().map(|o| o.paper_name()).collect();
+        obs::RunManifest::new(names.join(", "))
+            .param("ops", ops.join(", "))
+            .param(
+                "m_bytes",
+                self.sizes
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+            .param(
+                "p",
+                self.nodes
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+            .param("warmup", self.protocol.warmup)
+            .param("iterations", self.protocol.iterations)
+            .param("repetitions", self.protocol.repetitions)
+            .param("max_skew_us", self.protocol.max_skew.as_micros_f64())
+            .param(
+                "timer_resolution_us",
+                self.protocol.timer_resolution.as_micros_f64(),
+            )
+            .param("os_noise", self.protocol.os_noise)
+            .param("seed", format!("{:#x}", self.protocol.seed))
+    }
+
+    /// Runs the sweep and exports coverage metrics into `reg`: points
+    /// measured per machine and per operation, plus the distribution of
+    /// measured times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn run_metered(&self, reg: &mut obs::MetricsRegistry) -> Result<Dataset, SimMpiError> {
+        let data = self.run()?;
+        reg.counter("sweep.points", data.len() as u64);
+        for m in data.iter() {
+            reg.counter(format!("sweep.points.{}", m.machine), 1);
+            reg.counter(format!("sweep.points.op.{}", m.op.paper_name()), 1);
+            reg.observe("sweep.time_ns", (m.time_us * 1e3).max(0.0) as u64);
+        }
+        Ok(data)
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +283,31 @@ mod tests {
             .unwrap();
         assert_eq!(data.len(), 1);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn metered_sweep_exports_coverage_and_manifest() {
+        let mut reg = obs::MetricsRegistry::new();
+        let b = SweepBuilder::new()
+            .machines([Machine::t3d()])
+            .ops([OpClass::Bcast])
+            .message_sizes([16, 64])
+            .node_counts([2])
+            .protocol(Protocol::quick());
+        let data = b.run_metered(&mut reg).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(reg.get("sweep.points").unwrap().as_f64(), Some(2.0));
+        assert!(reg.get("sweep.points.Cray T3D").is_some());
+        assert!(
+            reg.get("sweep.points.op.broadcast").is_some() || {
+                // Accept whichever paper name bcast carries.
+                reg.iter().any(|(k, _)| k.starts_with("sweep.points.op."))
+            }
+        );
+        let man = b.manifest();
+        assert_eq!(man.machine(), "Cray T3D");
+        assert_eq!(man.get("p"), Some("2"));
+        assert_eq!(man.get("seed"), Some("0x7"));
     }
 
     #[test]

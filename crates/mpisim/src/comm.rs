@@ -47,12 +47,20 @@ impl CollectiveOutcome {
     /// ranks ("it reflects the condition that all processes involved …
     /// have finished the operation", §2).
     pub fn time(&self) -> SimDuration {
-        self.per_rank.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.per_rank
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The minimum per-rank elapsed time.
     pub fn min_time(&self) -> SimDuration {
-        self.per_rank.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.per_rank
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The mean per-rank elapsed time, microseconds.
@@ -60,11 +68,7 @@ impl CollectiveOutcome {
         if self.per_rank.is_empty() {
             return 0.0;
         }
-        self.per_rank
-            .iter()
-            .map(|d| d.as_micros_f64())
-            .sum::<f64>()
-            / self.per_rank.len() as f64
+        self.per_rank.iter().map(|d| d.as_micros_f64()).sum::<f64>() / self.per_rank.len() as f64
     }
 
     /// Per-rank elapsed times.
@@ -168,9 +172,8 @@ impl Communicator {
             CommScope::Whole => self.size,
             CommScope::Group { machine_nodes, .. } => *machine_nodes,
         };
-        let placement =
-            crate::placement::ExplicitPlacement::new(parent_nodes, machine_nodes)
-                .map_err(SimMpiError::InvalidSpec)?;
+        let placement = crate::placement::ExplicitPlacement::new(parent_nodes, machine_nodes)
+            .map_err(SimMpiError::InvalidSpec)?;
         Ok(Communicator::new_group(
             self.machine.clone(),
             placement,
@@ -274,10 +277,13 @@ impl Communicator {
         segments: &[&Schedule],
         start_times: Option<Vec<SimTime>>,
     ) -> Result<ExecOutcome, SimMpiError> {
-        self.run_with(segments, RunOptions {
-            start_times,
-            ..RunOptions::default()
-        })
+        self.run_with(
+            segments,
+            RunOptions {
+                start_times,
+                ..RunOptions::default()
+            },
+        )
     }
 
     /// Runs segments with full per-run options (skew, interference noise,
@@ -291,11 +297,33 @@ impl Communicator {
         segments: &[&Schedule],
         options: RunOptions,
     ) -> Result<ExecOutcome, SimMpiError> {
-        let cfg = ExecConfig {
+        let cfg = self.exec_config(options);
+        execute(self.machine.spec(), segments, &cfg)
+    }
+
+    /// Runs segments under full observability: message trace, per-rank
+    /// phase spans, per-link/per-class network instrumentation, and
+    /// engine queue statistics (see [`crate::exec::execute_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from the executor.
+    pub fn run_observed(
+        &self,
+        segments: &[&Schedule],
+        options: RunOptions,
+    ) -> Result<(ExecOutcome, crate::exec::Observed), SimMpiError> {
+        let cfg = self.exec_config(options);
+        crate::exec::execute_observed(self.machine.spec(), segments, &cfg)
+    }
+
+    fn exec_config(&self, options: RunOptions) -> ExecConfig {
+        ExecConfig {
             wire: self.machine.wire_config(),
             start_times: options.start_times,
             skip_validation: false,
             record_trace: options.record_trace,
+            trace_limit: None,
             placement: self.machine.placement(),
             cpu_noise: options.cpu_noise,
             group: match &self.scope {
@@ -305,8 +333,7 @@ impl Communicator {
                     machine_nodes,
                 } => Some((placement.clone(), *machine_nodes)),
             },
-        };
-        execute(self.machine.spec(), segments, &cfg)
+        }
     }
 
     fn outcome_from(&self, out: &ExecOutcome, seg: usize) -> CollectiveOutcome {

@@ -1,6 +1,6 @@
 //! Error types for the simulation MPI layer.
 
-use collectives::{ScheduleError, select::UnsupportedAlgorithm};
+use collectives::{select::UnsupportedAlgorithm, ScheduleError};
 use core::fmt;
 
 /// Errors surfaced by the public `mpisim` API.

@@ -16,9 +16,13 @@ use crate::error::SimMpiError;
 use crate::placement::{ExplicitPlacement, Placement};
 use collectives::{Schedule, Step};
 use desim::{Engine, Scheduler, SimDuration, SimTime, SplitMix64};
-use netmodel::{MachineSpec, NetState, OpClass, WireConfig};
+use netmodel::{MachineSpec, NetInstr, NetState, OpClass, WireConfig};
 use std::collections::{HashMap, VecDeque};
 use topo::NodeId;
+
+/// Default cap on recorded [`MessageTrace`] entries (~1M): a 128-node
+/// alltoall sweep would otherwise allocate without bound.
+pub const DEFAULT_TRACE_LIMIT: usize = 1 << 20;
 
 /// Execution options.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +39,10 @@ pub struct ExecConfig {
     /// Record a per-message trace (see [`MessageTrace`]). Off by default:
     /// tracing a 128-node alltoall allocates one record per message.
     pub record_trace: bool,
+    /// Maximum [`MessageTrace`] entries kept when tracing; further
+    /// messages are counted in [`ExecOutcome::dropped_messages`] instead
+    /// of allocated. `None` uses [`DEFAULT_TRACE_LIMIT`].
+    pub trace_limit: Option<usize>,
     /// Rank-to-node placement (§9 accuracy factor: "runtime node
     /// allocation affects the … collective communication pattern").
     pub placement: Placement,
@@ -75,6 +83,86 @@ pub struct MessageTrace {
     pub delivered: SimTime,
 }
 
+/// Where one stretch of a rank's time went — the label on a
+/// [`PhaseSpan`] and the granularity of the observability trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Collective-entry software overhead.
+    Entry,
+    /// Per-message send-side software overhead (`o_send`).
+    SendOverhead,
+    /// Payload copy / engine setup holding the sending CPU.
+    Copy,
+    /// Per-message receive-side software overhead plus receive copy.
+    RecvOverhead,
+    /// Reduction arithmetic.
+    Compute,
+    /// Blocked in a receive waiting for the payload to arrive.
+    RecvWait,
+    /// Waiting for the (hardware) barrier to release.
+    BarrierWait,
+}
+
+impl PhaseKind {
+    /// Short label used as the trace span name.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Entry => "entry",
+            PhaseKind::SendOverhead => "send",
+            PhaseKind::Copy => "copy",
+            PhaseKind::RecvOverhead => "recv",
+            PhaseKind::Compute => "compute",
+            PhaseKind::RecvWait => "wait",
+            PhaseKind::BarrierWait => "barrier",
+        }
+    }
+
+    /// True for the blocked-waiting kinds (idle CPU), false for the
+    /// software kinds (busy CPU).
+    pub fn is_blocked(self) -> bool {
+        matches!(self, PhaseKind::RecvWait | PhaseKind::BarrierWait)
+    }
+}
+
+/// One attributed stretch of a rank's timeline, collected when running
+/// under [`execute_observed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// The rank whose time this is.
+    pub rank: usize,
+    /// What the rank was doing.
+    pub kind: PhaseKind,
+    /// Span start instant.
+    pub start: SimTime,
+    /// Span end instant.
+    pub end: SimTime,
+}
+
+/// Always-collected per-rank split of execution time. The two buckets
+/// partition the rank's end-to-end elapsed time exactly:
+/// `sw + blocked == ExecOutcome::rank_elapsed(r)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankPhases {
+    /// CPU-busy software time: entry/send/recv overheads, payload
+    /// copies, reduction arithmetic.
+    pub sw: SimDuration,
+    /// Blocked-waiting time: receives waiting for data, barrier waits.
+    pub blocked: SimDuration,
+}
+
+/// Extra observability collected by [`execute_observed`]: the span
+/// timeline, network instrumentation, and engine queue statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Observed {
+    /// Every attributed phase span, in the order the executor emitted
+    /// them (non-decreasing per rank, interleaved across ranks).
+    pub spans: Vec<PhaseSpan>,
+    /// Per-link / per-class network accounting.
+    pub net: NetInstr,
+    /// Event-queue high-water mark of the run.
+    pub queue_high_water: usize,
+}
+
 /// The outcome of executing a schedule sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOutcome {
@@ -90,10 +178,16 @@ pub struct ExecOutcome {
     pub events: u64,
     /// Message trace, when [`ExecConfig::record_trace`] was set.
     pub trace: Vec<MessageTrace>,
+    /// Messages that exceeded [`ExecConfig::trace_limit`] and were
+    /// counted instead of traced.
+    pub dropped_messages: u64,
     /// Per-link busy times (hottest first), when
     /// [`ExecConfig::record_trace`] was set: the link-load distribution
     /// for hotspot analysis.
     pub link_loads: Vec<(usize, SimDuration)>,
+    /// Per-rank software/blocked time split (always collected — two
+    /// integer adds per charge).
+    pub phases: Vec<RankPhases>,
 }
 
 impl ExecOutcome {
@@ -124,6 +218,13 @@ impl ExecOutcome {
         };
         end.since(begin)
     }
+
+    /// End-to-end elapsed time of rank `r`: from its start instant to
+    /// its finish of the last segment. Equals
+    /// `phases[r].sw + phases[r].blocked` exactly.
+    pub fn rank_elapsed(&self, r: usize) -> SimDuration {
+        self.finish.last().expect("at least one segment")[r].abs_diff(self.start[r])
+    }
 }
 
 /// One item of a rank's execution tape.
@@ -146,6 +247,13 @@ struct RankState {
     slowdown: f64,
     /// Physical node this rank runs on.
     node: NodeId,
+    /// Accumulated CPU-busy software time.
+    sw: SimDuration,
+    /// Accumulated blocked-waiting time.
+    blocked: SimDuration,
+    /// Set while the rank is parked (recv wait / barrier wait): when the
+    /// wait began and what kind it is. Taken at the top of `advance`.
+    wait_since: Option<(SimTime, PhaseKind)>,
 }
 
 #[derive(Default)]
@@ -160,6 +268,10 @@ struct World {
     barrier: HwBarrierState,
     finish: Vec<Vec<SimTime>>,
     trace: Option<Vec<MessageTrace>>,
+    trace_cap: usize,
+    dropped: u64,
+    /// Phase-span sink, allocated only under [`execute_observed`].
+    spans: Option<Vec<PhaseSpan>>,
 }
 
 /// Executes `segments` back to back on a fresh network state.
@@ -179,6 +291,34 @@ pub fn execute(
     segments: &[&Schedule],
     cfg: &ExecConfig,
 ) -> Result<ExecOutcome, SimMpiError> {
+    execute_inner(spec, segments, cfg, false).map(|(out, _)| out)
+}
+
+/// Executes like [`execute`] but with full observability: phase spans
+/// for every rank, per-link/per-class network instrumentation, and
+/// engine queue statistics. Implies message tracing.
+///
+/// Costs one allocation per span/message — use [`execute`] in
+/// measurement hot loops.
+///
+/// # Errors
+///
+/// Same conditions as [`execute`].
+pub fn execute_observed(
+    spec: &MachineSpec,
+    segments: &[&Schedule],
+    cfg: &ExecConfig,
+) -> Result<(ExecOutcome, Observed), SimMpiError> {
+    execute_inner(spec, segments, cfg, true)
+        .map(|(out, obs)| (out, obs.expect("observed run collects instrumentation")))
+}
+
+fn execute_inner(
+    spec: &MachineSpec,
+    segments: &[&Schedule],
+    cfg: &ExecConfig,
+    observe: bool,
+) -> Result<(ExecOutcome, Option<Observed>), SimMpiError> {
     let Some(first) = segments.first() else {
         return Err(SimMpiError::EmptySequence);
     };
@@ -223,12 +363,11 @@ pub fn execute(
             }
             (explicit.table().to_vec(), *machine_nodes)
         }
-        None => (
-            cfg.placement.table(p).map_err(SimMpiError::InvalidSpec)?,
-            p,
-        ),
+        None => (cfg.placement.table(p).map_err(SimMpiError::InvalidSpec)?, p),
     };
-    let mut noise_rng = cfg.cpu_noise.map(|n| (n.amplitude, SplitMix64::new(n.seed)));
+    let mut noise_rng = cfg
+        .cpu_noise
+        .map(|n| (n.amplitude, SplitMix64::new(n.seed)));
 
     // Build per-rank tapes: entry marker + steps per segment, then the
     // segment-end timestamp marker.
@@ -243,6 +382,9 @@ pub fn execute(
                 None => 1.0,
             },
             node: node_table[r],
+            sw: SimDuration::ZERO,
+            blocked: SimDuration::ZERO,
+            wait_since: None,
         })
         .collect();
     for (si, seg) in segments.iter().enumerate() {
@@ -260,8 +402,14 @@ pub fn execute(
         ranks,
         barrier: HwBarrierState::default(),
         finish: vec![vec![SimTime::ZERO; p]; segments.len()],
-        trace: cfg.record_trace.then(Vec::new),
+        trace: (cfg.record_trace || observe).then(Vec::new),
+        trace_cap: cfg.trace_limit.unwrap_or(DEFAULT_TRACE_LIMIT),
+        dropped: 0,
+        spans: observe.then(Vec::new),
     };
+    if observe {
+        world.net.enable_instrumentation();
+    }
     let mut engine: Engine<World> = Engine::new();
     for (r, &t) in start.iter().enumerate() {
         engine.schedule_at(t, advance_event(r));
@@ -279,7 +427,7 @@ pub fn execute(
         );
     }
 
-    let link_loads = if cfg.record_trace {
+    let link_loads = if cfg.record_trace || observe {
         world
             .net
             .link_loads()
@@ -289,19 +437,51 @@ pub fn execute(
     } else {
         Vec::new()
     };
-    Ok(ExecOutcome {
-        start,
-        finish: world.finish,
-        messages: world.net.messages_sent(),
-        bytes: world.net.bytes_sent(),
-        events: engine.events_fired(),
-        trace: world.trace.unwrap_or_default(),
-        link_loads,
-    })
+    let observed = observe.then(|| Observed {
+        spans: world.spans.take().unwrap_or_default(),
+        net: world.net.instrumentation().cloned().unwrap_or_default(),
+        queue_high_water: engine.queue_high_water(),
+    });
+    let phases = world
+        .ranks
+        .iter()
+        .map(|rs| RankPhases {
+            sw: rs.sw,
+            blocked: rs.blocked,
+        })
+        .collect();
+    Ok((
+        ExecOutcome {
+            start,
+            finish: world.finish,
+            messages: world.net.messages_sent(),
+            bytes: world.net.bytes_sent(),
+            events: engine.events_fired(),
+            trace: world.trace.unwrap_or_default(),
+            dropped_messages: world.dropped,
+            link_loads,
+            phases,
+        },
+        observed,
+    ))
 }
 
 fn advance_event(r: usize) -> desim::EventFn<World> {
     Box::new(move |s, w| advance(s, w, r))
+}
+
+/// Records an attributed span when running observed; free otherwise.
+fn push_span(w: &mut World, rank: usize, kind: PhaseKind, start: SimTime, end: SimTime) {
+    if let Some(spans) = &mut w.spans {
+        if end > start {
+            spans.push(PhaseSpan {
+                rank,
+                kind,
+                start,
+                end,
+            });
+        }
+    }
 }
 
 /// Scales a CPU-side duration by the rank's interference slowdown.
@@ -318,6 +498,12 @@ fn cpu_charge(w: &World, r: usize, d: SimDuration) -> SimDuration {
 /// schedules a continuation, or finishes.
 fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
     let now = s.now();
+    // If the rank was parked (recv wait / barrier wait), the wakeup that
+    // runs this advance ends the wait: attribute the idle stretch.
+    if let Some((t0, kind)) = w.ranks[r].wait_since.take() {
+        w.ranks[r].blocked += now.since(t0);
+        push_span(w, r, kind, t0, now);
+    }
     loop {
         let Some(&item) = w.ranks[r].tape.get(w.ranks[r].pc) else {
             return; // tape complete
@@ -331,6 +517,8 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                 w.ranks[r].pc += 1;
                 let d = cpu_charge(w, r, w.spec.entry_overhead(class));
                 if !d.is_zero() {
+                    w.ranks[r].sw += d;
+                    push_span(w, r, PhaseKind::Entry, now, now + d);
                     s.schedule_in(d, advance_event(r));
                     return;
                 }
@@ -339,31 +527,35 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                 Step::Send { to, bytes } => {
                     w.ranks[r].pc += 1;
                     let o = cpu_charge(w, r, w.spec.send_overhead(class));
+                    w.ranks[r].sw += o;
+                    push_span(w, r, PhaseKind::SendOverhead, now, now + o);
                     // Perform the network send at exactly now + o so that
                     // link resources are acquired in true time order.
                     s.schedule_in(
                         o,
                         Box::new(move |s, w| {
+                            let posted = s.now();
                             let src_node = w.ranks[r].node;
                             let dst_node = w.ranks[to.0].node;
                             let World { spec, net, .. } = w;
-                            let t = net.send(
-                                spec,
-                                class,
-                                src_node,
-                                dst_node,
-                                bytes,
-                                s.now(),
-                            );
+                            let t = net.send(spec, class, src_node, dst_node, bytes, posted);
+                            // The stretch until the CPU is released is the
+                            // payload copy / engine setup: software time.
+                            w.ranks[r].sw += t.cpu_release.since(posted);
+                            push_span(w, r, PhaseKind::Copy, posted, t.cpu_release);
                             if let Some(trace) = &mut w.trace {
-                                trace.push(MessageTrace {
-                                    src: r,
-                                    dst: to.0,
-                                    bytes,
-                                    class,
-                                    posted: s.now(),
-                                    delivered: t.delivered,
-                                });
+                                if trace.len() < w.trace_cap {
+                                    trace.push(MessageTrace {
+                                        src: r,
+                                        dst: to.0,
+                                        bytes,
+                                        class,
+                                        posted,
+                                        delivered: t.delivered,
+                                    });
+                                } else {
+                                    w.dropped += 1;
+                                }
                             }
                             s.schedule_at(
                                 t.delivered,
@@ -383,10 +575,16 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                         Some(arrived) => {
                             w.ranks[r].pc += 1;
                             let o = cpu_charge(w, r, w.spec.recv_overhead(class, bytes));
-                            s.schedule_at(now.max(arrived) + o, advance_event(r));
+                            let begin = now.max(arrived);
+                            w.ranks[r].blocked += begin.since(now);
+                            w.ranks[r].sw += o;
+                            push_span(w, r, PhaseKind::RecvWait, now, begin);
+                            push_span(w, r, PhaseKind::RecvOverhead, begin, begin + o);
+                            s.schedule_at(begin + o, advance_event(r));
                         }
                         None => {
                             w.ranks[r].blocked_on = Some(from.0);
+                            w.ranks[r].wait_since = Some((now, PhaseKind::RecvWait));
                         }
                     }
                     return;
@@ -395,22 +593,21 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                     w.ranks[r].pc += 1;
                     let d = cpu_charge(w, r, w.spec.compute_cost(bytes));
                     if !d.is_zero() {
+                        w.ranks[r].sw += d;
+                        push_span(w, r, PhaseKind::Compute, now, now + d);
                         s.schedule_in(d, advance_event(r));
                         return;
                     }
                 }
                 Step::HwBarrier => {
                     w.ranks[r].pc += 1;
+                    w.ranks[r].wait_since = Some((now, PhaseKind::BarrierWait));
                     w.barrier.waiting.push(r);
                     if w.barrier.waiting.len() == w.ranks.len() {
                         let latency = w
                             .spec
                             .hw_barrier
-                            .map(|hb| {
-                                SimDuration::from_micros_f64(
-                                    hb.latency_us(w.ranks.len()),
-                                )
-                            })
+                            .map(|hb| SimDuration::from_micros_f64(hb.latency_us(w.ranks.len())))
                             .unwrap_or(SimDuration::ZERO);
                         let release = now + latency;
                         for waiter in std::mem::take(&mut w.barrier.waiting) {
@@ -427,11 +624,7 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
 /// Handles a payload arrival at `dst` from `src` at the current instant.
 fn deliver(s: &mut Scheduler<World>, w: &mut World, src: usize, dst: usize) {
     let now = s.now();
-    w.ranks[dst]
-        .mailbox
-        .entry(src)
-        .or_default()
-        .push_back(now);
+    w.ranks[dst].mailbox.entry(src).or_default().push_back(now);
     if w.ranks[dst].blocked_on == Some(src) {
         w.ranks[dst].blocked_on = None;
         advance(s, w, dst);
@@ -457,7 +650,13 @@ mod tests {
     #[test]
     fn invalid_schedule_rejected() {
         let mut s = Schedule::new(OpClass::PointToPoint, 2);
-        s.push(Rank(0), Step::Recv { from: Rank(1), bytes: 4 });
+        s.push(
+            Rank(0),
+            Step::Recv {
+                from: Rank(1),
+                bytes: 4,
+            },
+        );
         let e = execute(&sp2(), &[&s], &ExecConfig::default()).unwrap_err();
         assert!(matches!(e, SimMpiError::BadSchedule(_)));
     }
@@ -542,7 +741,13 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(e, SimMpiError::BadStartTimes { got: 3, expected: 4 }));
+        assert!(matches!(
+            e,
+            SimMpiError::BadStartTimes {
+                got: 3,
+                expected: 4
+            }
+        ));
     }
 
     #[test]
@@ -573,6 +778,97 @@ mod tests {
         let b = run(&spec, &s);
         assert_eq!(a.finish, b.finish);
         assert_eq!(a.events, b.events);
+    }
+
+    fn span_sum(spans: &[PhaseSpan], r: usize, blocked: bool) -> SimDuration {
+        spans
+            .iter()
+            .filter(|sp| sp.rank == r && sp.kind.is_blocked() == blocked)
+            .fold(SimDuration::ZERO, |acc, sp| acc + sp.end.since(sp.start))
+    }
+
+    #[test]
+    fn phase_split_partitions_rank_time() {
+        for spec in [sp2(), t3d()] {
+            for s in [
+                bcast::binomial(16, Rank(0), 4096),
+                collectives::alltoall::pairwise(8, 1024),
+                barrier::dissemination(8),
+                scatter::linear(8, Rank(0), 2048),
+            ] {
+                let out = run(&spec, &s);
+                for r in 0..s.ranks() {
+                    assert_eq!(
+                        out.phases[r].sw + out.phases[r].blocked,
+                        out.rank_elapsed(r),
+                        "rank {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_split_covers_barrier_waits() {
+        let spec = t3d();
+        let s = barrier::hardware(8);
+        let skew: Vec<SimTime> = (0..8).map(SimTime::from_micros).collect();
+        let out = execute(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                start_times: Some(skew),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        for r in 0..8 {
+            assert_eq!(
+                out.phases[r].sw + out.phases[r].blocked,
+                out.rank_elapsed(r)
+            );
+        }
+        // The earliest starter waits longest at the barrier.
+        assert!(out.phases[0].blocked > out.phases[7].blocked);
+    }
+
+    #[test]
+    fn trace_cap_drops_and_counts() {
+        let spec = sp2();
+        let s = collectives::alltoall::pairwise(8, 64);
+        let out = execute(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                record_trace: true,
+                trace_limit: Some(5),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.trace.len(), 5);
+        assert_eq!(out.dropped_messages, out.messages - 5);
+        let untraced = run(&spec, &s);
+        assert!(untraced.trace.is_empty());
+        assert_eq!(untraced.dropped_messages, 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_spans_sum_to_phases() {
+        let spec = t3d();
+        let s = bcast::binomial(16, Rank(0), 4096);
+        let plain = run(&spec, &s);
+        let (out, obs) = execute_observed(&spec, &[&s], &ExecConfig::default()).unwrap();
+        // Observation must not perturb timing.
+        assert_eq!(out.finish, plain.finish);
+        assert_eq!(out.phases, plain.phases);
+        assert!(obs.queue_high_water > 0);
+        assert!(obs.net.link_msgs.iter().sum::<u64>() > 0);
+        // The span timeline tiles each rank's sw/blocked split exactly.
+        for r in 0..16 {
+            assert_eq!(span_sum(&obs.spans, r, false), out.phases[r].sw);
+            assert_eq!(span_sum(&obs.spans, r, true), out.phases[r].blocked);
+        }
     }
 
     #[test]

@@ -28,13 +28,17 @@ pub mod datatype;
 pub mod error;
 pub mod exec;
 pub mod machine;
+pub mod observe;
 pub mod placement;
 
 pub use collectives::{Rank, Schedule, Step};
 pub use comm::{CollectiveOutcome, Communicator, RunOptions};
 pub use datatype::Datatype;
 pub use error::SimMpiError;
-pub use exec::{execute, CpuNoise, ExecConfig, ExecOutcome, MessageTrace};
-pub use placement::{ExplicitPlacement, Placement};
+pub use exec::{
+    execute, execute_observed, CpuNoise, ExecConfig, ExecOutcome, MessageTrace, Observed,
+    PhaseKind, PhaseSpan, RankPhases,
+};
 pub use machine::{AlgorithmPolicy, Machine};
 pub use netmodel::{MachineId, OpClass, WireConfig};
+pub use placement::{ExplicitPlacement, Placement};

@@ -220,10 +220,7 @@ mod tests {
         let ok = Machine::custom(netmodel::sp2()).unwrap();
         assert_eq!(ok.id(), None);
         // Custom machine without hw barrier: generic dissemination.
-        assert_eq!(
-            ok.algorithm_for(OpClass::Barrier),
-            Algorithm::Dissemination
-        );
+        assert_eq!(ok.algorithm_for(OpClass::Barrier), Algorithm::Dissemination);
     }
 
     #[test]

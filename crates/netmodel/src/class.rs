@@ -46,6 +46,48 @@ impl OpClass {
         OpClass::Barrier,
     ];
 
+    /// Every class, including point-to-point — the index space of
+    /// [`OpClass::index`], for dense per-class counter arrays.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Barrier,
+        OpClass::Bcast,
+        OpClass::Gather,
+        OpClass::Scatter,
+        OpClass::Reduce,
+        OpClass::Scan,
+        OpClass::Alltoall,
+        OpClass::PointToPoint,
+    ];
+
+    /// A dense index in `[0, OpClass::ALL.len())`, stable across runs —
+    /// used for per-class counters without hashing.
+    pub const fn index(self) -> usize {
+        match self {
+            OpClass::Barrier => 0,
+            OpClass::Bcast => 1,
+            OpClass::Gather => 2,
+            OpClass::Scatter => 3,
+            OpClass::Reduce => 4,
+            OpClass::Scan => 5,
+            OpClass::Alltoall => 6,
+            OpClass::PointToPoint => 7,
+        }
+    }
+
+    /// Short lowercase key for metric and CLI names.
+    pub fn key(self) -> &'static str {
+        match self {
+            OpClass::Barrier => "barrier",
+            OpClass::Bcast => "bcast",
+            OpClass::Gather => "gather",
+            OpClass::Scatter => "scatter",
+            OpClass::Reduce => "reduce",
+            OpClass::Scan => "scan",
+            OpClass::Alltoall => "alltoall",
+            OpClass::PointToPoint => "p2p",
+        }
+    }
+
     /// The paper's name for the operation.
     pub fn paper_name(self) -> &'static str {
         match self {
@@ -257,10 +299,7 @@ mod tests {
     #[test]
     fn aggregated_volume_matches_paper() {
         // Broadcast over 64 nodes of 64 KB: f = m(p-1)
-        assert_eq!(
-            OpClass::Bcast.aggregated_bytes(65_536, 64),
-            65_536 * 63
-        );
+        assert_eq!(OpClass::Bcast.aggregated_bytes(65_536, 64), 65_536 * 63);
         // Total exchange over 64 nodes of 64 KB: f = m·p(p-1) = 256 MB-ish
         let f = OpClass::Alltoall.aggregated_bytes(65_536, 64);
         assert_eq!(f, 65_536 * 64 * 63);
@@ -315,8 +354,22 @@ mod tests {
     }
 
     #[test]
+    fn dense_index_is_a_bijection() {
+        for (i, op) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert!(!op.key().is_empty());
+        }
+        let keys: std::collections::HashSet<_> =
+            OpClass::ALL.into_iter().map(OpClass::key).collect();
+        assert_eq!(keys.len(), OpClass::ALL.len(), "keys are distinct");
+    }
+
+    #[test]
     fn table1_metadata_complete() {
-        for op in OpClass::COLLECTIVES.into_iter().chain([OpClass::PointToPoint]) {
+        for op in OpClass::COLLECTIVES
+            .into_iter()
+            .chain([OpClass::PointToPoint])
+        {
             assert!(op.mpi_function().starts_with("MPI_"), "{op}");
             assert!(!op.table1_description().is_empty(), "{op}");
         }

@@ -63,6 +63,49 @@ impl Default for WireConfig {
     }
 }
 
+/// Per-link and per-class instrumentation, collected only when enabled
+/// via [`NetState::enable_instrumentation`] — the default (disabled)
+/// path costs one pointer-null check per send.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetInstr {
+    /// Raw payload bytes carried per unidirectional link (each message's
+    /// payload counted once per link on its route; local sends excluded).
+    pub link_bytes: Vec<u64>,
+    /// Messages that traversed each unidirectional link.
+    pub link_msgs: Vec<u64>,
+    /// Total time spent queued waiting for busy links, ns.
+    pub link_queue_ns: u64,
+    /// Total time spent queued behind the injection engine, ns.
+    pub inject_queue_ns: u64,
+    /// Messages sent, indexed by [`OpClass::index`].
+    pub class_msgs: [u64; OpClass::ALL.len()],
+    /// Payload bytes sent, indexed by [`OpClass::index`].
+    pub class_bytes: [u64; OpClass::ALL.len()],
+}
+
+impl NetInstr {
+    /// Exports the instrumentation-only counters: queueing delays,
+    /// per-class message/byte counts, and the per-link byte distribution
+    /// as a histogram.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter("net.queue.link_wait_ns", self.link_queue_ns);
+        reg.counter("net.queue.inject_wait_ns", self.inject_queue_ns);
+        for op in OpClass::ALL {
+            let i = op.index();
+            if self.class_msgs[i] > 0 {
+                reg.counter(
+                    format!("net.class.{}.messages", op.key()),
+                    self.class_msgs[i],
+                );
+                reg.counter(format!("net.class.{}.bytes", op.key()), self.class_bytes[i]);
+            }
+        }
+        for &b in self.link_bytes.iter().filter(|&&b| b > 0) {
+            reg.observe("net.link.bytes", b);
+        }
+    }
+}
+
 /// Mutable network state for one `p`-node partition of a machine.
 pub struct NetState {
     topo: Box<dyn Topology>,
@@ -71,6 +114,9 @@ pub struct NetState {
     config: WireConfig,
     messages: u64,
     bytes: u64,
+    /// Per-link/per-class accounting; `None` (the default) keeps the
+    /// send hot path free of per-link bookkeeping.
+    instr: Option<Box<NetInstr>>,
     /// Lazily filled per-pair route cache (routing is deterministic, and
     /// measurement loops re-send along the same pairs thousands of
     /// times). Indexed `src * nodes + dst`.
@@ -119,8 +165,44 @@ impl NetState {
             config,
             messages: 0,
             bytes: 0,
+            instr: None,
             route_cache: vec![None; p * p],
             scratch: Vec::new(),
+        }
+    }
+
+    /// Turns on per-link / per-class accounting for subsequent sends.
+    /// Counters start at zero; calling again resets them.
+    pub fn enable_instrumentation(&mut self) {
+        self.instr = Some(Box::new(NetInstr {
+            link_bytes: vec![0; self.links.len()],
+            link_msgs: vec![0; self.links.len()],
+            ..NetInstr::default()
+        }));
+    }
+
+    /// The collected instrumentation, if enabled.
+    pub fn instrumentation(&self) -> Option<&NetInstr> {
+        self.instr.as_deref()
+    }
+
+    /// Exports network counters into a metrics registry: total traffic,
+    /// link busy time and utilization, and — when instrumentation is on —
+    /// queueing delays, per-class message counts, and the per-link byte
+    /// distribution as a histogram.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter("net.messages", self.messages);
+        reg.counter("net.bytes", self.bytes);
+        reg.gauge(
+            "net.link.busy.total_us",
+            self.total_link_busy().as_micros_f64(),
+        );
+        if let Some((link, busy)) = self.hottest_link() {
+            reg.gauge("net.link.busy.max_us", busy.as_micros_f64());
+            reg.gauge("net.link.hottest_id", link.0 as f64);
+        }
+        if let Some(instr) = &self.instr {
+            instr.export_metrics(reg);
         }
     }
 
@@ -193,6 +275,10 @@ impl NetState {
         );
         self.messages += 1;
         self.bytes += u64::from(bytes);
+        if let Some(instr) = &mut self.instr {
+            instr.class_msgs[class.index()] += 1;
+            instr.class_bytes[class.index()] += u64::from(bytes);
+        }
 
         let costs = spec.costs.get(class);
         let copy = SimDuration::from_nanos_f64(f64::from(bytes) * costs.byte_send_ns);
@@ -261,6 +347,12 @@ impl NetState {
         let cached = self.route_cache[cache_idx].as_ref().expect("filled above");
         self.scratch.extend_from_slice(cached.links());
         let hop = SimDuration::from_nanos_f64(spec.hop_ns);
+        if let Some(instr) = &mut self.instr {
+            for link in &self.scratch {
+                instr.link_bytes[link.0] += u64::from(bytes);
+                instr.link_msgs[link.0] += 1;
+            }
+        }
 
         let mut remaining = total_bytes;
         let mut segment_ready = engine_ready;
@@ -271,7 +363,11 @@ impl NetState {
             let chunk_bytes = f64::from(chunk.max(spec.min_packet_bytes));
             let serialize = SimDuration::from_nanos_f64(chunk_bytes * stream_ns_per_byte);
             let inject_at = if self.config.nic_serialization {
-                self.inject[src.0].acquire(segment_ready, serialize).start
+                let at = self.inject[src.0].acquire(segment_ready, serialize).start;
+                if let Some(instr) = &mut self.instr {
+                    instr.inject_queue_ns += at.since(segment_ready).as_nanos();
+                }
+                at
             } else {
                 segment_ready
             };
@@ -292,7 +388,11 @@ impl NetState {
                     serialize
                 };
                 let at = if self.config.link_contention {
-                    self.links.acquire(link.0, t_hdr, occupancy).start
+                    let start = self.links.acquire(link.0, t_hdr, occupancy).start;
+                    if let Some(instr) = &mut self.instr {
+                        instr.link_queue_ns += start.since(t_hdr).as_nanos();
+                    }
+                    start
                 } else {
                     t_hdr
                 };
@@ -433,7 +533,7 @@ mod tests {
     fn nic_serializes_back_to_back_sends() {
         let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
         let mut net = NetState::new(&s, 4); // 4x1 mesh row... (2x2 actually)
-        // Two messages from node 0 to distinct neighbors, same instant.
+                                            // Two messages from node 0 to distinct neighbors, same instant.
         let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
         let b = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(2), 100, T0);
         // Serialization time 1000ns each; b injects 1000ns later.
@@ -601,6 +701,49 @@ mod tests {
         // The contended third message completes no later under
         // segmentation than whole-message reservation.
         assert!(segged.2 <= whole.2, "{segged:?} vs {whole:?}");
+    }
+
+    #[test]
+    fn instrumentation_counts_links_classes_and_queueing() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        let mut net = NetState::with_config(
+            &s,
+            4,
+            WireConfig {
+                nic_serialization: false,
+                ..WireConfig::default()
+            },
+        );
+        net.enable_instrumentation();
+        // Two messages sharing the 1->3 link: the second must queue.
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(3), 100, T0);
+        net.send(&s, OpClass::Alltoall, NodeId(1), NodeId(3), 50, T0);
+        net.send(&s, OpClass::Bcast, NodeId(2), NodeId(2), 10, T0); // local: no wire
+        let instr = net.instrumentation().expect("enabled");
+        assert_eq!(instr.class_msgs[OpClass::Bcast.index()], 2);
+        assert_eq!(instr.class_bytes[OpClass::Bcast.index()], 110);
+        assert_eq!(instr.class_msgs[OpClass::Alltoall.index()], 1);
+        // Total per-link bytes = sum over messages of payload * hops;
+        // the local send contributes nothing.
+        let total: u64 = instr.link_bytes.iter().sum();
+        let hops01_3 = 2; // 2x2 mesh: 0->3 and 1->3 both take 2 and 1 hops
+        let hops1_3 = 1;
+        assert_eq!(total, 100 * hops01_3 + 50 * hops1_3);
+        assert!(instr.link_queue_ns > 0, "second message queued");
+
+        let mut reg = obs::MetricsRegistry::new();
+        net.export_metrics(&mut reg);
+        assert_eq!(reg.get("net.messages").unwrap().as_f64(), Some(3.0));
+        assert!(reg.get("net.class.bcast.messages").is_some());
+        assert!(reg.get("net.queue.link_wait_ns").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn instrumentation_disabled_by_default() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 2);
+        net.send(&s, OpClass::Bcast, NodeId(0), NodeId(1), 100, T0);
+        assert!(net.instrumentation().is_none());
     }
 
     #[test]

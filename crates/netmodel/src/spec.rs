@@ -124,7 +124,10 @@ impl MachineSpec {
             return Err(format!("hop_ns invalid: {}", self.hop_ns));
         }
         if self.link_ns_per_byte <= 0.0 || !self.link_ns_per_byte.is_finite() {
-            return Err(format!("link_ns_per_byte invalid: {}", self.link_ns_per_byte));
+            return Err(format!(
+                "link_ns_per_byte invalid: {}",
+                self.link_ns_per_byte
+            ));
         }
         if self.min_packet_bytes == 0 {
             return Err("min_packet_bytes must be positive".into());

@@ -1,0 +1,108 @@
+//! Run manifests: the provenance header attached to every exported
+//! artifact so a `results/*.txt` or trace file is reproducible from its
+//! own contents.
+//!
+//! A manifest records the simulated machine, communicator size `p`,
+//! message size `m`, the protocol seed, and any configuration ablations
+//! (wire-model flags, placement policy, ...) as ordered key/value
+//! pairs.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::RunManifest;
+//!
+//! let m = RunManifest::new("Cray T3D")
+//!     .param("p", "64")
+//!     .param("m_bytes", "4096")
+//!     .param("seed", "0x4850434139");
+//! assert!(m.header_lines()[0].starts_with("# machine: Cray T3D"));
+//! ```
+
+use crate::json::Json;
+
+/// Provenance for one simulated run or sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    machine: String,
+    params: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// A manifest for `machine` with no parameters yet.
+    pub fn new(machine: impl Into<String>) -> Self {
+        RunManifest {
+            machine: machine.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends one `key: value` parameter (insertion order preserved —
+    /// ablations read best in the order they were applied).
+    pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// The machine name this run simulated.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// Looks up a parameter by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The manifest as a JSON object (`machine` plus a `params` object).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("machine", Json::str(&self.machine)),
+            (
+                "params",
+                Json::object(self.params.iter().map(|(k, v)| (k.clone(), Json::str(v)))),
+            ),
+        ])
+    }
+
+    /// `# key: value` comment lines for prepending to text artifacts.
+    pub fn header_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!("# machine: {}", self.machine)];
+        lines.extend(self.params.iter().map(|(k, v)| format!("# {k}: {v}")));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn records_params_in_order() {
+        let m = RunManifest::new("IBM SP2")
+            .param("p", 32)
+            .param("m_bytes", 1024)
+            .param("link_contention", true);
+        assert_eq!(m.get("p"), Some("32"));
+        assert_eq!(m.get("missing"), None);
+        let lines = m.header_lines();
+        assert_eq!(lines[0], "# machine: IBM SP2");
+        assert_eq!(lines[1], "# p: 32");
+        assert_eq!(lines[3], "# link_contention: true");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = RunManifest::new("Paragon").param("seed", "0x1");
+        let parsed = validate(&m.to_json().to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("machine").unwrap().as_str(), Some("Paragon"));
+        assert_eq!(
+            parsed.get("params").unwrap().get("seed").unwrap().as_str(),
+            Some("0x1")
+        );
+    }
+}

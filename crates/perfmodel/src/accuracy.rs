@@ -168,8 +168,7 @@ mod tests {
         let (train, test) = split_by_nodes(&data, "X", OpClass::Scatter);
         assert_eq!(train.len(), 6); // sizes 2, 8, 32
         assert_eq!(test.len(), 6); // sizes 4, 16, 64
-        let train_sizes: std::collections::HashSet<usize> =
-            train.iter().map(|m| m.nodes).collect();
+        let train_sizes: std::collections::HashSet<usize> = train.iter().map(|m| m.nodes).collect();
         assert_eq!(train_sizes, [2, 8, 32].into_iter().collect());
     }
 

@@ -50,9 +50,7 @@ pub fn breakdown(
     nodes: usize,
 ) -> Result<Breakdown, FitError> {
     let formula = fit_surface(data, machine, op)?;
-    let point = data
-        .at(machine, op, bytes, nodes)
-        .ok_or(FitError::NoData)?;
+    let point = data.at(machine, op, bytes, nodes).ok_or(FitError::NoData)?;
     let startup = formula.startup_us(nodes).min(point.time_us);
     Ok(Breakdown {
         machine: machine.to_string(),

@@ -107,18 +107,33 @@ mod tests {
 
     #[test]
     fn dominance_cases() {
-        assert_eq!(crossover(&f(10.0, 0.01), &f(20.0, 0.02), 8), Crossover::AlwaysFirst);
-        assert_eq!(crossover(&f(20.0, 0.02), &f(10.0, 0.01), 8), Crossover::AlwaysSecond);
+        assert_eq!(
+            crossover(&f(10.0, 0.01), &f(20.0, 0.02), 8),
+            Crossover::AlwaysFirst
+        );
+        assert_eq!(
+            crossover(&f(20.0, 0.02), &f(10.0, 0.01), 8),
+            Crossover::AlwaysSecond
+        );
         // Same per-byte: startup decides.
-        assert_eq!(crossover(&f(10.0, 0.05), &f(30.0, 0.05), 8), Crossover::AlwaysFirst);
+        assert_eq!(
+            crossover(&f(10.0, 0.05), &f(30.0, 0.05), 8),
+            Crossover::AlwaysFirst
+        );
     }
 
     #[test]
     fn equal_startup_decided_by_per_byte() {
         // Equal T0, differing per-byte: the cheaper-per-byte machine
         // wins at every m > 0.
-        assert_eq!(crossover(&f(100.0, 0.2), &f(100.0, 0.1), 8), Crossover::AlwaysSecond);
-        assert_eq!(crossover(&f(100.0, 0.1), &f(100.0, 0.2), 8), Crossover::AlwaysFirst);
+        assert_eq!(
+            crossover(&f(100.0, 0.2), &f(100.0, 0.1), 8),
+            Crossover::AlwaysSecond
+        );
+        assert_eq!(
+            crossover(&f(100.0, 0.1), &f(100.0, 0.2), 8),
+            Crossover::AlwaysFirst
+        );
     }
 
     #[test]

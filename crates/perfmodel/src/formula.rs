@@ -94,9 +94,8 @@ impl fmt::Display for Term {
 /// and keeping the better fit (by r²). Returns `None` for degenerate
 /// inputs.
 pub fn fit_term(points: &[(usize, f64)]) -> Option<Term> {
-    let as_xy = |g: Growth| -> Vec<(f64, f64)> {
-        points.iter().map(|&(p, y)| (g.eval(p), y)).collect()
-    };
+    let as_xy =
+        |g: Growth| -> Vec<(f64, f64)> { points.iter().map(|&(p, y)| (g.eval(p), y)).collect() };
     let lin = linear_fit(&as_xy(Growth::Linear));
     let log = linear_fit(&as_xy(Growth::Logarithmic));
     let to_term = |g: Growth, f: LinFit| Term {
@@ -260,10 +259,7 @@ mod tests {
         let s = f.to_string();
         assert!(s.contains("5.800 p + 77.000"), "{s}");
         assert!(s.contains("0.039 p - 0.120"), "{s}");
-        let barrier = TimingFormula::new(
-            Term::new(Growth::Logarithmic, 123.0, -90.0),
-            Term::ZERO,
-        );
+        let barrier = TimingFormula::new(Term::new(Growth::Logarithmic, 123.0, -90.0), Term::ZERO);
         assert_eq!(barrier.to_string(), "123.000 log p - 90.000");
     }
 }

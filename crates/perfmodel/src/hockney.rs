@@ -47,10 +47,7 @@ impl HockneyFit {
 /// or a non-positive fitted rate — a sign the data is not
 /// bandwidth-limited over the sampled range).
 pub fn fit_hockney(points: &[(u32, f64)]) -> Option<HockneyFit> {
-    let xy: Vec<(f64, f64)> = points
-        .iter()
-        .map(|&(m, t)| (f64::from(m), t))
-        .collect();
+    let xy: Vec<(f64, f64)> = points.iter().map(|&(m, t)| (f64::from(m), t)).collect();
     let f = linear_fit(&xy)?;
     if f.slope <= 0.0 {
         return None;

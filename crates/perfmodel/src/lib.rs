@@ -32,8 +32,8 @@ pub mod accuracy;
 pub mod breakdown;
 pub mod crossover;
 pub mod fit;
-pub mod hockney;
 pub mod formula;
+pub mod hockney;
 pub mod paper;
 pub mod scaling;
 pub mod surface;
@@ -42,7 +42,7 @@ pub use accuracy::{score, split_by_nodes, Accuracy};
 pub use breakdown::{bandwidth_series, breakdown, BandwidthPoint, Breakdown};
 pub use crossover::{crossover, Crossover};
 pub use fit::{linear_fit, LinFit};
-pub use hockney::{fit_hockney, HockneyFit};
 pub use formula::{fit_term, Growth, Term, TimingFormula};
+pub use hockney::{fit_hockney, HockneyFit};
 pub use scaling::{amdahl_speedup, isoefficiency_m, karp_flatt, ScalingCurve};
 pub use surface::{fit_all, fit_surface, FitError};

@@ -172,9 +172,9 @@ mod tests {
     #[test]
     fn saturating_curve_finds_knee() {
         // t(p) = 1000/p + 50p: U-shaped with minimum near sqrt(20)≈4.5.
-        let c = ScalingCurve::new([1usize, 2, 4, 8, 16].map(|p| {
-            (p, 1000.0 / p as f64 + 50.0 * p as f64)
-        }));
+        let c = ScalingCurve::new(
+            [1usize, 2, 4, 8, 16].map(|p| (p, 1000.0 / p as f64 + 50.0 * p as f64)),
+        );
         assert_eq!(c.fastest(), Some(4));
         // Efficiency decays: largest ≥50% point is well below 16.
         let cutoff = c.largest_efficient(0.5).unwrap();
@@ -187,7 +187,9 @@ mod tests {
         assert_eq!(c.baseline_us(), Some(1000.0));
         let s = c.speedup();
         assert!((s[0].1 - 4.0).abs() < 1e-12, "first point assumed linear");
-        assert!(ScalingCurve::new(std::iter::empty()).baseline_us().is_none());
+        assert!(ScalingCurve::new(std::iter::empty())
+            .baseline_us()
+            .is_none());
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl std::error::Error for FitError {}
 /// # Errors
 ///
 /// Returns [`FitError`] when the dataset lacks the needed grid points.
-pub fn fit_surface(
-    data: &Dataset,
-    machine: &str,
-    op: OpClass,
-) -> Result<TimingFormula, FitError> {
+pub fn fit_surface(data: &Dataset, machine: &str, op: OpClass) -> Result<TimingFormula, FitError> {
     let grid = data.grid(machine, op);
     if grid.is_empty() {
         return Err(FitError::NoData);
@@ -158,7 +154,11 @@ mod tests {
         assert_eq!(f.startup.growth, Growth::Linear);
         // T0 is approximated by the m = 4 timings (the paper's method),
         // so the fitted coefficient absorbs 4·(per-byte slope).
-        assert!((f.startup.coeff - (5.8 + 4.0 * 0.039)).abs() < 0.01, "{:?}", f.startup);
+        assert!(
+            (f.startup.coeff - (5.8 + 4.0 * 0.039)).abs() < 0.01,
+            "{:?}",
+            f.startup
+        );
         assert_eq!(f.per_byte.growth, Growth::Linear);
         assert!((f.per_byte.coeff - 0.039).abs() < 0.001);
         // Prediction error small across the grid.
@@ -228,9 +228,16 @@ mod tests {
     #[test]
     fn fit_all_covers_pairs() {
         let mut d = synthetic("A", OpClass::Bcast, |p| p as f64, |_| 0.01);
-        d.extend(synthetic("B", OpClass::Gather, |p| 2.0 * p as f64, |_| 0.02));
+        d.extend(synthetic(
+            "B",
+            OpClass::Gather,
+            |p| 2.0 * p as f64,
+            |_| 0.02,
+        ));
         let fits = fit_all(&d);
         assert_eq!(fits.len(), 2);
-        assert!(fits.iter().any(|(m, op, _)| m == "A" && *op == OpClass::Bcast));
+        assert!(fits
+            .iter()
+            .any(|(m, op, _)| m == "A" && *op == OpClass::Bcast));
     }
 }

@@ -1,99 +1,101 @@
 //! Property-based tests of the fitting pipeline: exact surfaces are
 //! recovered, noisy surfaces are approximated, and predictions are
-//! physically sane.
+//! physically sane. Runs on the in-repo deterministic harness
+//! ([`desim::check`]).
 
+use desim::check::forall;
 use perfmodel::{fit_term, linear_fit, Growth, Term, TimingFormula};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// linear_fit recovers exact affine data to machine precision.
-    #[test]
-    fn linear_fit_exact_recovery(
-        slope in -1e3f64..1e3,
-        intercept in -1e6f64..1e6,
-        n in 2usize..50,
-    ) {
+/// linear_fit recovers exact affine data to machine precision.
+#[test]
+fn linear_fit_exact_recovery() {
+    forall("linear fit exact recovery", 128, |g| {
+        let slope = g.f64(-1e3, 1e3);
+        let intercept = g.f64(-1e6, 1e6);
+        let n = g.usize(2, 49);
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| (i as f64, slope * i as f64 + intercept))
             .collect();
         let f = linear_fit(&pts).expect("non-degenerate");
-        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-        prop_assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
-        prop_assert!(f.r2 > 1.0 - 1e-9);
-    }
+        assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        assert!(f.r2 > 1.0 - 1e-9);
+    });
+}
 
-    /// fit_term selects the generating growth family when the
-    /// coefficient is clearly non-degenerate.
-    #[test]
-    fn fit_term_selects_generating_family(
-        coeff in 1.0f64..100.0,
-        offset in -50.0f64..50.0,
-        logarithmic in any::<bool>(),
-    ) {
-        let growth = if logarithmic { Growth::Logarithmic } else { Growth::Linear };
+/// fit_term selects the generating growth family when the coefficient
+/// is clearly non-degenerate.
+#[test]
+fn fit_term_selects_generating_family() {
+    forall("fit_term selects generating family", 128, |g| {
+        let coeff = g.f64(1.0, 100.0);
+        let offset = g.f64(-50.0, 50.0);
+        let growth = if g.bool() {
+            Growth::Logarithmic
+        } else {
+            Growth::Linear
+        };
         let sizes = [2usize, 4, 8, 16, 32, 64, 128];
         let pts: Vec<(usize, f64)> = sizes
             .iter()
             .map(|&p| (p, coeff * growth.eval(p) + offset))
             .collect();
         let t = fit_term(&pts).expect("fit");
-        prop_assert_eq!(t.growth, growth);
-        prop_assert!((t.coeff - coeff).abs() < 1e-6 * (1.0 + coeff));
-    }
+        assert_eq!(t.growth, growth);
+        assert!((t.coeff - coeff).abs() < 1e-6 * (1.0 + coeff));
+    });
+}
 
-    /// Predictions are non-negative and monotone in m for non-negative
-    /// per-byte terms.
-    #[test]
-    fn predictions_are_sane(
-        s_coeff in 0.0f64..200.0,
-        s_off in -100.0f64..200.0,
-        b_coeff in 0.0f64..0.2,
-        b_off in -0.1f64..0.3,
-        p in 2usize..=128,
-        m in 0u32..=1_000_000,
-    ) {
+/// Predictions are non-negative and monotone in m for non-negative
+/// per-byte terms.
+#[test]
+fn predictions_are_sane() {
+    forall("predictions are sane", 128, |g| {
+        let s_coeff = g.f64(0.0, 200.0);
+        let s_off = g.f64(-100.0, 200.0);
+        let b_coeff = g.f64(0.0, 0.2);
+        let b_off = g.f64(-0.1, 0.3);
+        let p = g.usize(2, 128);
+        let m = g.u32(0, 1_000_000);
         let f = TimingFormula::new(
             Term::new(Growth::Linear, s_coeff, s_off),
             Term::new(Growth::Linear, b_coeff, b_off),
         );
         let t = f.predict_us(m, p);
-        prop_assert!(t >= 0.0);
-        prop_assert!(f.predict_us(m.saturating_add(1024), p) >= t);
-        prop_assert_eq!(f.predict_us(0, p), f.startup_us(p));
-    }
+        assert!(t >= 0.0);
+        assert!(f.predict_us(m.saturating_add(1024), p) >= t);
+        assert_eq!(f.predict_us(0, p), f.startup_us(p));
+    });
+}
 
-    /// Asymptotic bandwidth is the per-m aggregated volume over the
-    /// per-byte delay, and only defined when that delay is positive.
-    #[test]
-    fn bandwidth_definition(
-        b_coeff in 0.001f64..0.2,
-        b_off in -0.05f64..0.2,
-        p in 2usize..=128,
-        agg in 1u64..100_000,
-    ) {
-        let f = TimingFormula::new(
-            Term::ZERO,
-            Term::new(Growth::Linear, b_coeff, b_off),
-        );
+/// Asymptotic bandwidth is the per-m aggregated volume over the
+/// per-byte delay, and only defined when that delay is positive.
+#[test]
+fn bandwidth_definition() {
+    forall("bandwidth definition", 128, |g| {
+        let b_coeff = g.f64(0.001, 0.2);
+        let b_off = g.f64(-0.05, 0.2);
+        let p = g.usize(2, 128);
+        let agg = g.u64(1, 99_999);
+        let f = TimingFormula::new(Term::ZERO, Term::new(Growth::Linear, b_coeff, b_off));
         let per_byte = b_coeff * p as f64 + b_off;
         match f.asymptotic_bandwidth_mb_s(agg, p) {
             Some(r) => {
-                prop_assert!(per_byte > 0.0);
-                prop_assert!((r - agg as f64 / per_byte).abs() < 1e-9 * r);
+                assert!(per_byte > 0.0);
+                assert!((r - agg as f64 / per_byte).abs() < 1e-9 * r);
             }
-            None => prop_assert!(per_byte <= 0.0),
+            None => assert!(per_byte <= 0.0),
         }
-    }
+    });
+}
 
-    /// Fitting noisy logarithmic data still lands near the truth.
-    #[test]
-    fn fit_survives_noise(
-        coeff in 5.0f64..100.0,
-        offset in 0.0f64..100.0,
-        seed in any::<u64>(),
-    ) {
+/// Fitting noisy logarithmic data still lands near the truth.
+#[test]
+fn fit_survives_noise() {
+    forall("fit survives noise", 128, |g| {
+        let coeff = g.f64(5.0, 100.0);
+        let offset = g.f64(0.0, 100.0);
+        let seed = g.u64(0, u64::MAX);
         let mut rng = desim::SplitMix64::new(seed);
         let sizes = [2usize, 4, 8, 16, 32, 64, 128];
         let pts: Vec<(usize, f64)> = sizes
@@ -104,7 +106,7 @@ proptest! {
             })
             .collect();
         let t = fit_term(&pts).expect("fit");
-        prop_assert_eq!(t.growth, Growth::Logarithmic);
-        prop_assert!((t.coeff - coeff).abs() < 0.15 * coeff + 1.0, "{t:?}");
-    }
+        assert_eq!(t.growth, Growth::Logarithmic);
+        assert!((t.coeff - coeff).abs() < 0.15 * coeff + 1.0, "{t:?}");
+    });
 }

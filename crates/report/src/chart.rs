@@ -135,7 +135,11 @@ impl LogChart {
             } else {
                 " ".repeat(9)
             };
-            out.push_str(&format!("  {} |{}\n", label, row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "  {} |{}\n",
+                label,
+                row.iter().collect::<String>()
+            ));
         }
         out.push_str(&format!(
             "  {:>9} +{}\n  {:>9} {:<w$}{:>}\n",

@@ -56,12 +56,7 @@ impl GnuplotFigure {
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.points.is_empty())
-            .map(|(i, s)| {
-                format!(
-                    "$data{i} with linespoints title \"{}\"",
-                    esc(&s.label)
-                )
-            })
+            .map(|(i, s)| format!("$data{i} with linespoints title \"{}\"", esc(&s.label)))
             .collect();
         for (i, s) in self.series.iter().enumerate() {
             if s.points.is_empty() {
@@ -113,8 +108,11 @@ mod tests {
 
     #[test]
     fn nonpositive_points_already_filtered() {
-        let fig = GnuplotFigure::new("T", "x", "y")
-            .series(Series::new("a", 'a', vec![(0.0, 5.0), (3.0, 4.0)]));
+        let fig = GnuplotFigure::new("T", "x", "y").series(Series::new(
+            "a",
+            'a',
+            vec![(0.0, 5.0), (3.0, 4.0)],
+        ));
         let s = fig.render();
         assert!(!s.contains("0 5"));
         assert!(s.contains("3 4"));

@@ -13,6 +13,7 @@
 pub mod chart;
 pub mod csv;
 pub mod gnuplot;
+pub mod metrics;
 pub mod table;
 pub mod timeline;
 

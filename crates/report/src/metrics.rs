@@ -1,0 +1,61 @@
+//! Text rendering of metrics snapshots: the run manifest as a comment
+//! header followed by a name/kind/value table, so every results
+//! artifact carries the configuration that produced it.
+
+use crate::table::Table;
+use obs::{MetricsRegistry, RunManifest};
+
+/// Renders a metrics registry as an aligned text table preceded by the
+/// manifest's `# key: value` header lines.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{MetricsRegistry, RunManifest};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("net.messages", 63);
+/// let manifest = RunManifest::new("t3d").param("p", 64);
+/// let text = report::metrics::render(&manifest, &reg);
+/// assert!(text.contains("# machine: t3d"));
+/// assert!(text.contains("net.messages"));
+/// ```
+pub fn render(manifest: &RunManifest, reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for line in manifest.header_lines() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let mut table = Table::new(["metric", "kind", "value"]);
+    for row in reg.rows() {
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_manifest_header_and_all_metrics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("exec.messages", 7);
+        reg.gauge("exec.completed_us", 123.456);
+        reg.observe("net.link.bytes", 4096);
+        let manifest = RunManifest::new("sp2")
+            .param("op", "bcast")
+            .param("m", 1024);
+        let text = render(&manifest, &reg);
+        assert!(text.contains("# machine: sp2"), "{text}");
+        assert!(text.contains("# op: bcast"), "{text}");
+        assert!(text.contains("exec.messages"), "{text}");
+        assert!(text.contains("exec.completed_us"), "{text}");
+        assert!(text.contains("histogram"), "{text}");
+        // Header lines precede the table.
+        let first_metric = text.find("metric").expect("table header");
+        let last_comment = text.rfind('#').expect("comment header");
+        assert!(last_comment < first_metric);
+    }
+}

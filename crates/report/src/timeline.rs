@@ -24,6 +24,7 @@ pub struct Timeline {
     title: String,
     lanes: usize,
     width: usize,
+    unit: String,
     messages: Vec<TimelineMessage>,
 }
 
@@ -39,8 +40,18 @@ impl Timeline {
             title: title.into(),
             lanes,
             width: 72,
+            unit: "us".into(),
             messages: Vec::new(),
         }
+    }
+
+    /// Overrides the time-axis unit label (builder style; default
+    /// `"us"`). The instants themselves are unit-agnostic — this only
+    /// changes the scale footer, so traces rendered in different units
+    /// are never silently drawn on incomparable implicit axes.
+    pub fn unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
     }
 
     /// Overrides the time-axis width in characters (builder style).
@@ -101,8 +112,10 @@ impl Timeline {
             put(m.dst, col(m.delivered), '<');
         }
         let mut out = format!("{}\n", self.title);
+        let unit = &self.unit;
+        let per_col = (t1 - t0) / (self.width - 1) as f64;
         out.push_str(&format!(
-            "  time: {t0:.1} .. {t1:.1} us   ('>' send posted, '<' delivery, '*' both)\n"
+            "  time: {t0:.1} .. {t1:.1} {unit}   ('>' send posted, '<' delivery, '*' both)\n"
         ));
         for (lane, row) in canvas.iter().enumerate() {
             out.push_str(&format!(
@@ -110,6 +123,7 @@ impl Timeline {
                 row.iter().collect::<String>()
             ));
         }
+        out.push_str(&format!("  scale: 1 column = {per_col:.3} {unit}\n"));
         out
     }
 }
@@ -135,7 +149,7 @@ mod tests {
             .message(msg(2, 3, 55.0, 100.0));
         let r = t.render();
         assert!(r.contains("bcast"));
-        assert!(r.lines().count() == 6, "{r}");
+        assert!(r.lines().count() == 7, "{r}");
         // Rank 0 has two send marks; rank 3 a delivery at the right edge.
         let lane0 = r.lines().nth(2).unwrap();
         assert_eq!(lane0.matches('>').count(), 2, "{lane0}");
@@ -165,5 +179,17 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_panics() {
         Timeline::new("x", 0);
+    }
+
+    #[test]
+    fn axis_spans_actual_extent_with_unit_and_scale() {
+        let t = Timeline::new("x", 2)
+            .width(101)
+            .unit("ms")
+            .message(msg(0, 1, 50.0, 150.0));
+        let r = t.render();
+        assert!(r.contains("time: 50.0 .. 150.0 ms"), "{r}");
+        // 100 ms over 100 columns: exactly 1 ms per column.
+        assert!(r.contains("scale: 1 column = 1.000 ms"), "{r}");
     }
 }

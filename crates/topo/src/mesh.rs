@@ -119,7 +119,10 @@ impl Topology for Mesh2d {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        assert!(src.0 < self.nodes() && dst.0 < self.nodes(), "node out of range");
+        assert!(
+            src.0 < self.nodes() && dst.0 < self.nodes(),
+            "node out of range"
+        );
         if src == dst {
             return Route::local();
         }

@@ -120,7 +120,10 @@ impl Topology for Omega {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "node out of range"
+        );
         if src == dst {
             return Route::local();
         }
@@ -241,9 +244,11 @@ mod tests {
                             }
                             let r1 = net.route(NodeId(s1), NodeId(d1));
                             let r2 = net.route(NodeId(s2), NodeId(d2));
-                            if r1.links().iter().any(|l| {
-                                l.0 / net.padded() != 0 && r2.links().contains(l)
-                            }) {
+                            if r1
+                                .links()
+                                .iter()
+                                .any(|l| l.0 / net.padded() != 0 && r2.links().contains(l))
+                            {
                                 found = true;
                                 break 'outer;
                             }

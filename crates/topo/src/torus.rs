@@ -116,7 +116,13 @@ impl Torus3d {
 
     /// Routes one dimension: appends links walking `from` along `dim`
     /// toward coordinate `target`, returning the arrival node.
-    fn route_dim(&self, route: &mut Vec<LinkId>, mut at: NodeId, dim: usize, target: usize) -> NodeId {
+    fn route_dim(
+        &self,
+        route: &mut Vec<LinkId>,
+        mut at: NodeId,
+        dim: usize,
+        target: usize,
+    ) -> NodeId {
         let size = [self.dx, self.dy, self.dz][dim];
         let coord = |n: NodeId, t: &Self| -> usize {
             let (x, y, z) = t.coords(n);
@@ -155,7 +161,10 @@ impl Topology for Torus3d {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        assert!(src.0 < self.nodes() && dst.0 < self.nodes(), "node out of range");
+        assert!(
+            src.0 < self.nodes() && dst.0 < self.nodes(),
+            "node out of range"
+        );
         if src == dst {
             return Route::local();
         }

@@ -1,8 +1,9 @@
 //! Property-based tests of the routing functions: for arbitrary
 //! topology shapes, every route must be connected, match the analytic
-//! distance, and stay within the diameter.
+//! distance, and stay within the diameter. Runs on the in-repo
+//! deterministic harness ([`desim::check`]).
 
-use proptest::prelude::*;
+use desim::check::forall;
 use topo::{assert_route_connected, Graph, Mesh2d, NodeId, Omega, Topology, Torus3d};
 
 /// Shortest distance along one torus dimension with wraparound.
@@ -11,16 +12,13 @@ fn ring_dist(a: usize, b: usize, size: usize) -> usize {
     d.min(size - d)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn torus_routes_are_connected_and_shortest(
-        dx in 1usize..=6,
-        dy in 1usize..=6,
-        dz in 1usize..=4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn torus_routes_are_connected_and_shortest() {
+    forall("torus routes connected and shortest", 48, |g| {
+        let dx = g.usize(1, 6);
+        let dy = g.usize(1, 6);
+        let dz = g.usize(1, 4);
+        let seed = g.u64(0, u64::MAX);
         let t = Torus3d::new(dx, dy, dz);
         let n = t.nodes();
         let s = NodeId((seed % n as u64) as usize);
@@ -33,15 +31,16 @@ proptest! {
         let (sx, sy, sz) = coord(s);
         let (tx, ty, tz) = coord(d);
         let dist = ring_dist(sx, tx, dx) + ring_dist(sy, ty, dy) + ring_dist(sz, tz, dz);
-        prop_assert_eq!(r.hops(), dist);
-    }
+        assert_eq!(r.hops(), dist);
+    });
+}
 
-    #[test]
-    fn mesh_routes_are_connected_and_manhattan(
-        cols in 1usize..=10,
-        rows in 1usize..=10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn mesh_routes_are_connected_and_manhattan() {
+    forall("mesh routes connected and manhattan", 48, |g| {
+        let cols = g.usize(1, 10);
+        let rows = g.usize(1, 10);
+        let seed = g.u64(0, u64::MAX);
         let m = Mesh2d::new(cols, rows);
         let n = m.nodes();
         let s = NodeId((seed % n as u64) as usize);
@@ -49,44 +48,49 @@ proptest! {
         let r = m.route(s, d);
         assert_route_connected(&r, s, d, |l| m.endpoints(l));
         let manhattan = (s.0 % cols).abs_diff(d.0 % cols) + (s.0 / cols).abs_diff(d.0 / cols);
-        prop_assert_eq!(r.hops(), manhattan);
-    }
+        assert_eq!(r.hops(), manhattan);
+    });
+}
 
-    #[test]
-    fn omega_routes_terminate_and_have_uniform_length(
-        nodes in 2usize..=128,
-        radix in 2usize..=8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn omega_routes_terminate_and_have_uniform_length() {
+    forall("omega routes terminate", 48, |g| {
+        let nodes = g.usize(2, 128);
+        let radix = g.usize(2, 8);
+        let seed = g.u64(0, u64::MAX);
         let net = Omega::new(nodes, radix);
         let s = NodeId((seed % nodes as u64) as usize);
         let d = NodeId(((seed >> 16) % nodes as u64) as usize);
         let trace = net.wire_trace(s, d);
-        prop_assert_eq!(trace[0], s.0);
-        prop_assert_eq!(*trace.last().unwrap(), d.0);
-        prop_assert_eq!(trace.len(), net.stages() + 1);
-        prop_assert!(trace.iter().all(|&w| w < net.padded()));
+        assert_eq!(trace[0], s.0);
+        assert_eq!(*trace.last().unwrap(), d.0);
+        assert_eq!(trace.len(), net.stages() + 1);
+        assert!(trace.iter().all(|&w| w < net.padded()));
         if s != d {
-            prop_assert_eq!(net.route(s, d).hops(), net.stages() + 1);
+            assert_eq!(net.route(s, d).hops(), net.stages() + 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn factored_shapes_cover_node_count(p in 1usize..=128) {
+#[test]
+fn factored_shapes_cover_node_count() {
+    forall("factored shapes cover node count", 48, |g| {
+        let p = g.usize(1, 128);
         let t = Torus3d::for_nodes(p);
-        prop_assert_eq!(t.nodes(), p);
+        assert_eq!(t.nodes(), p);
         let m = Mesh2d::for_nodes(p);
-        prop_assert_eq!(m.nodes(), p);
+        assert_eq!(m.nodes(), p);
         let (c, r) = m.dims();
-        prop_assert!(c >= r, "near-square with wide side first");
-    }
+        assert!(c >= r, "near-square with wide side first");
+    });
+}
 
-    #[test]
-    fn graph_matches_torus_distances(
-        dx in 1usize..=4,
-        dy in 1usize..=4,
-        dz in 1usize..=3,
-    ) {
+#[test]
+fn graph_matches_torus_distances() {
+    forall("graph matches torus distances", 48, |gen| {
+        let dx = gen.usize(1, 4);
+        let dy = gen.usize(1, 4);
+        let dz = gen.usize(1, 3);
         // A Graph with a torus's edges reproduces its hop counts (BFS
         // shortest path == dimension-ordered with wrap for tori).
         let t = Torus3d::new(dx, dy, dz);
@@ -104,27 +108,28 @@ proptest! {
         }
         for s in 0..n {
             for d in 0..n {
-                prop_assert_eq!(
+                assert_eq!(
                     g.hops(NodeId(s), NodeId(d)),
                     t.hops(NodeId(s), NodeId(d)),
-                    "pair ({}, {})", s, d
+                    "pair ({s}, {d})"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn routes_never_exceed_diameter(
-        dx in 1usize..=5,
-        dy in 1usize..=5,
-    ) {
+#[test]
+fn routes_never_exceed_diameter() {
+    forall("routes never exceed diameter", 48, |g| {
+        let dx = g.usize(1, 5);
+        let dy = g.usize(1, 5);
         let m = Mesh2d::new(dx, dy);
         let diam = m.diameter();
         for s in 0..m.nodes() {
             for d in 0..m.nodes() {
-                prop_assert!(m.hops(NodeId(s), NodeId(d)) <= diam);
+                assert!(m.hops(NodeId(s), NodeId(d)) <= diam);
             }
         }
-        prop_assert_eq!(diam, (dx - 1) + (dy - 1));
-    }
+        assert_eq!(diam, (dx - 1) + (dy - 1));
+    });
 }

@@ -26,7 +26,10 @@ const FM_OVERHEAD_US: f64 = 2.5;
 /// Rebuilds a cost table with fast-messages software costs.
 fn fast_messages_table(base: &Machine) -> CostTable {
     let mut table = CostTable::uniform(ClassCosts::FREE);
-    for class in OpClass::COLLECTIVES.into_iter().chain([OpClass::PointToPoint]) {
+    for class in OpClass::COLLECTIVES
+        .into_iter()
+        .chain([OpClass::PointToPoint])
+    {
         let c = *base.spec().costs.get(class);
         table = table.with(
             class,
@@ -51,7 +54,14 @@ fn main() -> Result<(), SimMpiError> {
     );
     println!(
         "{:<16} {:<16} {:>12} {:>12} {:>9}  {:>12} {:>12} {:>9}",
-        "machine", "operation", "vendor 16B", "FM 16B", "speedup", "vendor 64KB", "FM 64KB", "speedup"
+        "machine",
+        "operation",
+        "vendor 16B",
+        "FM 16B",
+        "speedup",
+        "vendor 64KB",
+        "FM 64KB",
+        "speedup"
     );
     for base in [Machine::sp2(), Machine::paragon(), Machine::t3d()] {
         let mut fm_spec = base.spec().clone();

@@ -37,7 +37,10 @@ fn predicted_t3e() -> Result<Machine, SimMpiError> {
         .hw_barrier(2.0, 0.008)
         .max_nodes(128);
     // One-third of the T3D's software costs per class.
-    for class in OpClass::COLLECTIVES.into_iter().chain([OpClass::PointToPoint]) {
+    for class in OpClass::COLLECTIVES
+        .into_iter()
+        .chain([OpClass::PointToPoint])
+    {
         let c = *t3d.costs.get(class);
         b.class_costs(
             class,

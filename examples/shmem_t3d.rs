@@ -25,12 +25,12 @@ use netmodel::{ClassCosts, CostTable};
 /// SHMEM-style costs: one-sided puts, no matching on the target side.
 fn shmem_costs() -> ClassCosts {
     ClassCosts {
-        entry_us: 1.0,      // library call, no communicator bookkeeping
-        o_send_us: 1.5,     // issue the put (E-register setup)
-        o_recv_us: 0.5,     // target-side completion check (shmem_wait)
-        byte_send_ns: 2.0,  // local load path
-        byte_recv_ns: 1.0,  // remote store path is hardware
-        offload: true,      // BLT streams large puts
+        entry_us: 1.0,     // library call, no communicator bookkeeping
+        o_send_us: 1.5,    // issue the put (E-register setup)
+        o_recv_us: 0.5,    // target-side completion check (shmem_wait)
+        byte_send_ns: 2.0, // local load path
+        byte_recv_ns: 1.0, // remote store path is hardware
+        offload: true,     // BLT streams large puts
     }
 }
 

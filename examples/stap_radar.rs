@@ -47,7 +47,10 @@ fn main() -> Result<(), SimMpiError> {
             );
         }
         let (_, best) = best_partition(&machine, cube, &[4, 8, 16, 32, 64])?;
-        println!("  -> best machine size for {}: p = {best}\n", machine.name());
+        println!(
+            "  -> best machine size for {}: p = {best}\n",
+            machine.name()
+        );
     }
     println!(
         "Observation (paper §1): the sweet spot balances divided computation\n\

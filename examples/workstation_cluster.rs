@@ -34,12 +34,7 @@ fn now_cluster() -> Result<Machine, SimMpiError> {
 fn main() -> Result<(), SimMpiError> {
     const NODES: usize = 16;
     let cluster = now_cluster()?;
-    let machines = [
-        Machine::sp2(),
-        Machine::paragon(),
-        Machine::t3d(),
-        cluster,
-    ];
+    let machines = [Machine::sp2(), Machine::paragon(), Machine::t3d(), cluster];
 
     for (label, bytes) in [("short (64 B)", 64u32), ("long (64 KB)", 65_536)] {
         println!("\n== {label} messages, {NODES} nodes ==");

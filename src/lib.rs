@@ -30,8 +30,8 @@ pub mod prelude {
     pub use desim::{SimDuration, SimTime};
     pub use harness::{measure, Dataset, Protocol, SweepBuilder};
     pub use mpisim::{
-        AlgorithmPolicy, CollectiveOutcome, Communicator, Machine, MachineId, OpClass,
-        SimMpiError, WireConfig,
+        AlgorithmPolicy, CollectiveOutcome, Communicator, Machine, MachineId, OpClass, SimMpiError,
+        WireConfig,
     };
     pub use perfmodel::{fit_surface, TimingFormula};
 }

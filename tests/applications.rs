@@ -128,8 +128,5 @@ fn diagnosed_run_reports_hot_links() {
     let out = comm.run_diagnosed(&s).unwrap();
     assert!(!out.link_loads.is_empty());
     // Sorted hottest-first.
-    assert!(out
-        .link_loads
-        .windows(2)
-        .all(|w| w[0].1 >= w[1].1));
+    assert!(out.link_loads.windows(2).all(|w| w[0].1 >= w[1].1));
 }

@@ -56,8 +56,12 @@ fn warmup_iterations_are_discarded() {
     let mut warm = Protocol::ideal();
     warm.warmup = 2;
     warm.iterations = 10;
-    let t_cold = measure(&comm, OpClass::Alltoall, 8_192, &cold).unwrap().time_us;
-    let t_warm = measure(&comm, OpClass::Alltoall, 8_192, &warm).unwrap().time_us;
+    let t_cold = measure(&comm, OpClass::Alltoall, 8_192, &cold)
+        .unwrap()
+        .time_us;
+    let t_warm = measure(&comm, OpClass::Alltoall, 8_192, &warm)
+        .unwrap()
+        .time_us;
     assert!(
         t_warm <= t_cold * 1.05,
         "steady-state {t_warm:.0} should not exceed cold-start {t_cold:.0}"

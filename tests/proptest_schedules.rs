@@ -1,11 +1,12 @@
 //! Property-based tests over the collective algorithm generators and the
 //! executor: for *any* (algorithm, operation, size, root, bytes) combo,
 //! schedules must validate, execute to completion deterministically, and
-//! respect basic physical invariants.
+//! respect basic physical invariants. Runs on the in-repo deterministic
+//! harness ([`desim::check`]).
 
 use collectives::{build, Algorithm, Rank};
+use desim::check::forall;
 use mpisim::{Machine, OpClass};
-use proptest::prelude::*;
 
 /// Algorithms valid for a given op (mirrors `select::build`).
 fn algorithms_for(op: OpClass) -> Vec<Algorithm> {
@@ -24,130 +25,148 @@ fn algorithms_for(op: OpClass) -> Vec<Algorithm> {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = OpClass> {
-    prop::sample::select(OpClass::COLLECTIVES.to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every generated schedule passes the abstract checker.
-    #[test]
-    fn schedules_always_validate(
-        op in arb_op(),
-        p in 1usize..=40,
-        root_seed in 0usize..1000,
-        bytes in 0u32..=1_000_000,
-    ) {
-        let root = Rank(root_seed % p);
+/// Every generated schedule passes the abstract checker.
+#[test]
+fn schedules_always_validate() {
+    forall("schedules always validate", 64, |g| {
+        let op = *g.pick(&OpClass::COLLECTIVES);
+        let p = g.usize(1, 40);
+        let root = Rank(g.usize(0, 999) % p);
+        let bytes = g.u32(0, 1_000_000);
         for alg in algorithms_for(op) {
             let s = build(alg, op, p, root, bytes).expect("supported pairing");
-            prop_assert!(s.check().is_ok(), "{op}/{alg:?} p={p}");
-            prop_assert_eq!(s.ranks(), p);
-            prop_assert_eq!(s.class(), op);
+            assert!(s.check().is_ok(), "{op}/{alg:?} p={p}");
+            assert_eq!(s.ranks(), p);
+            assert_eq!(s.class(), op);
         }
-    }
+    });
+}
 
-    /// One-to-all / all-to-one operations move exactly (p-1) messages
-    /// under their vendor algorithms, and the aggregated volume matches
-    /// the paper's f(m, p).
-    #[test]
-    fn message_counts_match_theory(
-        p in 1usize..=48,
-        bytes in 1u32..=65_536,
-    ) {
-        for op in [OpClass::Bcast, OpClass::Scatter, OpClass::Gather, OpClass::Reduce] {
+/// One-to-all / all-to-one operations move exactly (p-1) messages
+/// under their vendor algorithms, and the aggregated volume matches
+/// the paper's f(m, p).
+#[test]
+fn message_counts_match_theory() {
+    forall("message counts match theory", 64, |g| {
+        let p = g.usize(1, 48);
+        let bytes = g.u32(1, 65_536);
+        for op in [
+            OpClass::Bcast,
+            OpClass::Scatter,
+            OpClass::Gather,
+            OpClass::Reduce,
+        ] {
             let alg = if matches!(op, OpClass::Bcast | OpClass::Reduce) {
                 Algorithm::Binomial
             } else {
                 Algorithm::Linear
             };
             let s = build(alg, op, p, Rank(0), bytes).expect("supported");
-            prop_assert_eq!(s.total_messages(), p - 1, "{}", op);
+            assert_eq!(s.total_messages(), p - 1, "{op}");
         }
         let ring = build(Algorithm::Ring, OpClass::Alltoall, p, Rank(0), bytes).expect("ring");
-        prop_assert_eq!(ring.total_messages(), p * (p - 1));
-        prop_assert_eq!(
+        assert_eq!(ring.total_messages(), p * (p - 1));
+        assert_eq!(
             ring.total_bytes(),
             OpClass::Alltoall.aggregated_bytes(u64::from(bytes), p as u64)
         );
-    }
+    });
+}
 
-    /// Execution completes with a positive makespan and is deterministic.
-    #[test]
-    fn execution_is_deterministic_and_positive(
-        op in arb_op(),
-        p in 2usize..=24,
-        bytes in 0u32..=262_144,
-        machine_idx in 0usize..3,
-    ) {
-        let machine = &Machine::all()[machine_idx];
+/// Execution completes with a positive makespan and is deterministic.
+#[test]
+fn execution_is_deterministic_and_positive() {
+    forall("execution deterministic and positive", 64, |g| {
+        let op = *g.pick(&OpClass::COLLECTIVES);
+        let p = g.usize(2, 24);
+        let bytes = g.u32(0, 262_144);
+        let machine = &Machine::all()[g.usize(0, 2)];
         let comm = machine.communicator(p).expect("in range");
         let s = comm.schedule(op, Rank(0), bytes).expect("schedule");
         let a = comm.run(&s).expect("run");
         let b = comm.run(&s).expect("run");
-        prop_assert_eq!(a.clone(), b);
-        prop_assert!(a.time().as_nanos() > 0);
-        prop_assert!(a.min_time() <= a.time());
-    }
+        assert_eq!(a, b);
+        assert!(a.time().as_nanos() > 0);
+        assert!(a.min_time() <= a.time());
+    });
+}
 
-    /// Collective time is monotone (weakly) in the message length.
-    #[test]
-    fn time_weakly_monotone_in_bytes(
-        op in prop::sample::select(vec![
-            OpClass::Bcast, OpClass::Scatter, OpClass::Gather,
-            OpClass::Reduce, OpClass::Scan, OpClass::Alltoall,
-        ]),
-        p in 2usize..=16,
-        machine_idx in 0usize..3,
-        small in 1u32..=4_096,
-        factor in 2u32..=16,
-    ) {
-        let machine = &Machine::all()[machine_idx];
+/// Collective time is monotone (weakly) in the message length.
+#[test]
+fn time_weakly_monotone_in_bytes() {
+    forall("time weakly monotone in bytes", 64, |g| {
+        let op = *g.pick(&[
+            OpClass::Bcast,
+            OpClass::Scatter,
+            OpClass::Gather,
+            OpClass::Reduce,
+            OpClass::Scan,
+            OpClass::Alltoall,
+        ]);
+        let p = g.usize(2, 16);
+        let machine = &Machine::all()[g.usize(0, 2)];
+        let small = g.u32(1, 4_096);
+        let factor = g.u32(2, 16);
         let comm = machine.communicator(p).expect("in range");
-        let t_small = comm.run(&comm.schedule(op, Rank(0), small).unwrap()).unwrap().time();
-        let t_big = comm
-            .run(&comm.schedule(op, Rank(0), small.saturating_mul(factor)).unwrap())
+        let t_small = comm
+            .run(&comm.schedule(op, Rank(0), small).unwrap())
             .unwrap()
             .time();
-        prop_assert!(
+        let t_big = comm
+            .run(
+                &comm
+                    .schedule(op, Rank(0), small.saturating_mul(factor))
+                    .unwrap(),
+            )
+            .unwrap()
+            .time();
+        assert!(
             t_big >= t_small,
             "{op} p={p} {}: T({}) = {} < T({small}) = {}",
-            machine.name(), small * factor, t_big, t_small
+            machine.name(),
+            small * factor,
+            t_big,
+            t_small
         );
-    }
+    });
+}
 
-    /// Root symmetry: on a symmetric machine the broadcast root choice
-    /// never changes message counts and keeps times in a narrow band.
-    #[test]
-    fn bcast_root_choice_is_benign(
-        p in 2usize..=32,
-        root in 0usize..32,
-        bytes in 1u32..=16_384,
-    ) {
-        let root = Rank(root % p);
+/// Root symmetry: on a symmetric machine the broadcast root choice
+/// never changes message counts and keeps times in a narrow band.
+#[test]
+fn bcast_root_choice_is_benign() {
+    forall("bcast root choice benign", 64, |g| {
+        let p = g.usize(2, 32);
+        let root = Rank(g.usize(0, 31) % p);
+        let bytes = g.u32(1, 16_384);
         let machine = Machine::t3d();
         let comm = machine.communicator(p).expect("in range");
         let s0 = comm.schedule(OpClass::Bcast, Rank(0), bytes).unwrap();
         let sr = comm.schedule(OpClass::Bcast, root, bytes).unwrap();
-        prop_assert_eq!(s0.total_messages(), sr.total_messages());
+        assert_eq!(s0.total_messages(), sr.total_messages());
         let t0 = comm.run(&s0).unwrap().time().as_micros_f64();
         let tr = comm.run(&sr).unwrap().time().as_micros_f64();
         // The torus is node-symmetric; only tree-to-topology embedding
         // differs. Allow 50% band.
-        prop_assert!(tr < t0 * 1.5 + 5.0 && t0 < tr * 1.5 + 5.0, "t0={t0} tr={tr}");
-    }
+        assert!(
+            tr < t0 * 1.5 + 5.0 && t0 < tr * 1.5 + 5.0,
+            "t0={t0} tr={tr}"
+        );
+    });
+}
 
-    /// The hardware barrier time is independent of everything but the
-    /// slowest arrival.
-    #[test]
-    fn hw_barrier_is_arrival_bound(p in 2usize..=64) {
+/// The hardware barrier time is independent of everything but the
+/// slowest arrival.
+#[test]
+fn hw_barrier_is_arrival_bound() {
+    forall("hw barrier is arrival bound", 64, |g| {
+        let p = g.usize(2, 64);
         let machine = Machine::t3d();
         let comm = machine.communicator(p).expect("in range");
         let out = comm.barrier().expect("barrier");
-        prop_assert!(out.time().as_micros_f64() < 4.0, "{}", out.time());
+        assert!(out.time().as_micros_f64() < 4.0, "{}", out.time());
         // Every rank observes the same release instant.
         let times = out.per_rank();
-        prop_assert!(times.iter().all(|&t| t == times[0]));
-    }
+        assert!(times.iter().all(|&t| t == times[0]));
+    });
 }

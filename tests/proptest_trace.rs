@@ -1,0 +1,115 @@
+//! Property tests for the observability trace invariants: causal
+//! message timestamps, same-seed determinism, and agreement between the
+//! per-link byte counters and the message trace.
+
+use desim::check::forall;
+use harness::Protocol;
+use mpisim::comm::RunOptions;
+use mpisim::{Machine, OpClass, Rank};
+
+fn random_point(g: &mut desim::check::Gen) -> (Machine, OpClass, usize, u32) {
+    let machine = Machine::all()[g.usize(0, 2)].clone();
+    let op = *g.pick(&OpClass::COLLECTIVES);
+    let p = 1 << g.usize(1, 4); // 2..16 ranks
+    let bytes = if op == OpClass::Barrier {
+        0
+    } else {
+        1 << g.usize(2, 13) // 4 B .. 8 KB
+    };
+    (machine, op, p, bytes)
+}
+
+#[test]
+fn traced_messages_are_causal() {
+    forall("posted_not_after_delivered", 24, |g| {
+        let (machine, op, p, bytes) = random_point(g);
+        let comm = machine.communicator(p).expect("communicator");
+        let s = comm.schedule(op, Rank(0), bytes).expect("schedule");
+        let (out, _) = comm
+            .run_observed(&[&s], RunOptions::default())
+            .expect("observed run");
+        for m in &out.trace {
+            assert!(
+                m.posted <= m.delivered,
+                "{} {op:?} p={p} m={bytes}: message {}->{} posted {:?} after delivery {:?}",
+                machine.name(),
+                m.src,
+                m.dst,
+                m.posted,
+                m.delivered
+            );
+        }
+    });
+}
+
+#[test]
+fn same_seed_runs_trace_identically() {
+    forall("trace_determinism", 12, |g| {
+        let (machine, op, p, bytes) = random_point(g);
+        let seed = g.u64(0, u64::MAX / 2);
+        let comm = machine.communicator(p).expect("communicator");
+        let s = comm.schedule(op, Rank(0), bytes).expect("schedule");
+        let mut proto = Protocol::quick();
+        proto.max_skew = desim::SimDuration::from_micros(25);
+        proto = proto.with_seed(seed);
+        let run = || {
+            let skew: Vec<desim::SimTime> = {
+                let mut rng = desim::SplitMix64::new(proto.seed);
+                (0..p)
+                    .map(|_| desim::SimTime::from_nanos(rng.next_below(25_001)))
+                    .collect()
+            };
+            comm.run_observed(
+                &[&s],
+                RunOptions {
+                    start_times: Some(skew),
+                    cpu_noise: None,
+                    record_trace: true,
+                },
+            )
+            .expect("observed run")
+        };
+        let (a, oa) = run();
+        let (b, ob) = run();
+        assert_eq!(a.trace, b.trace, "same seed must reproduce the trace");
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(oa.spans, ob.spans);
+        assert_eq!(oa.net, ob.net);
+    });
+}
+
+#[test]
+fn link_byte_counters_match_traced_sizes() {
+    forall("link_bytes_equal_trace_bytes_x_hops", 24, |g| {
+        let (machine, op, p, bytes) = random_point(g);
+        let comm = machine.communicator(p).expect("communicator");
+        let s = comm.schedule(op, Rank(0), bytes).expect("schedule");
+        let (out, obs) = comm
+            .run_observed(&[&s], RunOptions::default())
+            .expect("observed run");
+        assert_eq!(out.dropped_messages, 0, "small runs never hit the cap");
+
+        // Independently recompute what the per-link counters must total:
+        // each traced message contributes its payload once per hop of
+        // its (deterministic) route.
+        let table = machine.placement().table(p).expect("placement");
+        let topo = machine.spec().topology.build(p);
+        let expected: u64 = out
+            .trace
+            .iter()
+            .map(|m| {
+                let hops = topo.route(table[m.src], table[m.dst]).links().len() as u64;
+                hops * u64::from(m.bytes)
+            })
+            .sum();
+        let counted: u64 = obs.net.link_bytes.iter().sum();
+        assert_eq!(
+            counted,
+            expected,
+            "{} {op:?} p={p} m={bytes}",
+            machine.name()
+        );
+        // And the message totals agree with the executor's counters.
+        assert_eq!(out.trace.len() as u64, out.messages);
+    });
+}

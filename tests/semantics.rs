@@ -1,12 +1,11 @@
 //! Semantic coverage of every collective algorithm: the data-influence
 //! closure ([`Schedule::influence`]) must show each operation actually
 //! delivers data where its MPI semantics require — independent of
-//! timing, for every generator and communicator size.
+//! timing, for every generator and communicator size. Runs on the
+//! in-repo deterministic harness ([`desim::check`]).
 
-use collectives::{
-    alltoall, barrier, bcast, extra, gather, reduce, scan, scatter, Rank, Schedule,
-};
-use proptest::prelude::*;
+use collectives::{alltoall, barrier, bcast, extra, gather, reduce, scan, scatter, Rank, Schedule};
+use desim::check::forall;
 
 /// `influence[r][s]`: can rank s's data have reached rank r?
 fn influence(s: &Schedule) -> Vec<Vec<bool>> {
@@ -35,54 +34,68 @@ fn complete(s: &Schedule) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn broadcasts_reach_everyone(p in 1usize..=48, root_seed in 0usize..1000) {
-        let root = root_seed % p;
+#[test]
+fn broadcasts_reach_everyone() {
+    forall("broadcasts reach everyone", 48, |g| {
+        let p = g.usize(1, 48);
+        let root = g.usize(0, 999) % p;
         root_reaches_all(&bcast::binomial(p, Rank(root), 64), root);
         root_reaches_all(&bcast::linear(p, Rank(root), 64), root);
         root_reaches_all(&bcast::scatter_allgather(p, Rank(root), 6_400), root);
         root_reaches_all(&bcast::pipelined(p, Rank(root), 6_400, 1_024), root);
-    }
+    });
+}
 
-    #[test]
-    fn scatters_reach_everyone(p in 1usize..=48, root_seed in 0usize..1000) {
+#[test]
+fn scatters_reach_everyone() {
+    forall("scatters reach everyone", 48, |g| {
         // Scatter delivers root data to each rank: same reachability
         // requirement as broadcast.
-        let root = root_seed % p;
+        let p = g.usize(1, 48);
+        let root = g.usize(0, 999) % p;
         root_reaches_all(&scatter::linear(p, Rank(root), 64), root);
         root_reaches_all(&scatter::binomial(p, Rank(root), 64), root);
-    }
+    });
+}
 
-    #[test]
-    fn gathers_and_reduces_hear_everyone(p in 1usize..=48, root_seed in 0usize..1000) {
-        let root = root_seed % p;
+#[test]
+fn gathers_and_reduces_hear_everyone() {
+    forall("gathers and reduces hear everyone", 48, |g| {
+        let p = g.usize(1, 48);
+        let root = g.usize(0, 999) % p;
         all_reach_root(&gather::linear(p, Rank(root), 64), root);
         all_reach_root(&gather::binomial(p, Rank(root), 64), root);
         all_reach_root(&reduce::binomial(p, Rank(root), 64), root);
         all_reach_root(&reduce::linear(p, Rank(root), 64), root);
-    }
+    });
+}
 
-    #[test]
-    fn total_exchanges_are_complete(p in 1usize..=24) {
+#[test]
+fn total_exchanges_are_complete() {
+    forall("total exchanges are complete", 48, |g| {
+        let p = g.usize(1, 24);
         complete(&alltoall::ring(p, 16));
         complete(&alltoall::bruck(p, 16));
         if p.is_power_of_two() {
             complete(&alltoall::pairwise(p, 16));
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_variants_of_allreduce_are_complete(p in 1usize..=24) {
+#[test]
+fn all_variants_of_allreduce_are_complete() {
+    forall("allreduce variants are complete", 48, |g| {
+        let p = g.usize(1, 24);
         complete(&extra::allreduce_recursive_doubling(p, 64));
         complete(&extra::allreduce_rabenseifner(p, 6_400));
         complete(&extra::allgather_ring(p, 64));
-    }
+    });
+}
 
-    #[test]
-    fn scans_cover_their_prefixes(p in 1usize..=48) {
+#[test]
+fn scans_cover_their_prefixes() {
+    forall("scans cover their prefixes", 48, |g| {
+        let p = g.usize(1, 48);
         for s in [scan::recursive_doubling(p, 64), scan::linear(p, 64)] {
             let inf = influence(&s);
             for (r, set) in inf.iter().enumerate() {
@@ -91,17 +104,20 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn software_barriers_synchronize_transitively(p in 1usize..=48) {
+#[test]
+fn software_barriers_synchronize_transitively() {
+    forall("software barriers synchronize", 48, |g| {
         // A correct barrier: after it, every rank has (transitively)
         // heard from every other — otherwise some rank could exit before
         // another entered.
+        let p = g.usize(1, 48);
         complete(&barrier::dissemination(p));
         complete(&barrier::tree(p));
         if p.is_power_of_two() {
             complete(&barrier::pairwise(p));
         }
-    }
+    });
 }

@@ -165,7 +165,10 @@ fn t3d_fastest_except_paragon_scan() {
     assert!(t < s, "reduce short: T3D {t:.0} vs SP2 {s:.0}");
     let t = t_us(&Machine::t3d(), OpClass::Scan, 16, 64);
     let g = t_us(&Machine::paragon(), OpClass::Scan, 16, 64);
-    assert!(g < t, "Paragon scan beats T3D at 64 nodes: {g:.0} vs {t:.0}");
+    assert!(
+        g < t,
+        "Paragon scan beats T3D at 64 nodes: {g:.0} vs {t:.0}"
+    );
 }
 
 #[test]
