@@ -11,6 +11,10 @@
 //! ```text
 //! cargo run -p bench --bin observe -- --machine t3d --op bcast -p 64 -m 4096
 //! ```
+//!
+//! `--profile` additionally enables the desim engine's self-profiling
+//! (events/sec, calendar-queue depth and occupancy, wall-clock), which
+//! then appears in the metrics snapshot under `engine.prof.*`.
 
 use mpisim::comm::RunOptions;
 use mpisim::{observe, Machine, OpClass, Rank};
@@ -22,6 +26,7 @@ struct Args {
     p: usize,
     m: u32,
     out_dir: String,
+    profile: bool,
 }
 
 fn parse_machine(name: &str) -> Option<Machine> {
@@ -42,7 +47,7 @@ fn parse_op(name: &str) -> Option<OpClass> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR]"
+        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile]"
     );
     std::process::exit(2);
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
     let mut p = 64usize;
     let mut m = 4096u32;
     let mut out_dir = ".".to_string();
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -62,6 +68,7 @@ fn parse_args() -> Args {
             "-p" | "--nodes" => p = value().parse().unwrap_or_else(|_| usage()),
             "-m" | "--bytes" => m = value().parse().unwrap_or_else(|_| usage()),
             "--out" => out_dir = value(),
+            "--profile" => profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -77,6 +84,7 @@ fn parse_args() -> Args {
         p,
         m,
         out_dir,
+        profile,
     }
 }
 
@@ -123,8 +131,12 @@ fn main() {
     let schedule = comm
         .schedule(args.op, Rank(0), bytes)
         .expect("schedule build");
+    let options = RunOptions {
+        profile: args.profile,
+        ..RunOptions::default()
+    };
     let (out, observed) = comm
-        .run_observed(&[&schedule], RunOptions::default())
+        .run_observed(&[&schedule], options)
         .expect("observed execution");
 
     let wire = machine.wire_config();

@@ -1,0 +1,243 @@
+//! Continuous-benchmark pipeline: runs the fixed perfgate suite, writes
+//! a schema-versioned `BENCH_<date>.json`, and gates against the
+//! committed `crates/bench/baseline.json`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin perfgate -- [options]
+//!
+//!   --quick              reduced measurement protocol (CI default)
+//!   --rounds N           timing rounds per suite point (default 5)
+//!   --out FILE           report path (default BENCH_<date>.json)
+//!   --baseline FILE      baseline path (default crates/bench/baseline.json)
+//!   --update-baseline    overwrite the baseline with this run and exit
+//!   --report-only        never fail on regressions (still fails on
+//!                        schema/IO errors) — the CI perf job's mode
+//!   --no-fit             skip the fit-quality drift sweep
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression beyond the noise-aware threshold,
+//! 2 schema or I/O error.
+
+use bench::perfgate::{
+    compare, default_suite, drift, iso_date, perf_rows, run_suite, BenchReport, GateStatus,
+};
+use harness::{Protocol, SweepBuilder};
+use mpisim::OpClass;
+use obs::MetricsRegistry;
+use std::time::SystemTime;
+
+struct Opts {
+    quick: bool,
+    rounds: usize,
+    out: Option<String>,
+    baseline: String,
+    update_baseline: bool,
+    report_only: bool,
+    fit: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        quick: false,
+        rounds: 5,
+        out: None,
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json").to_string(),
+        update_baseline: false,
+        report_only: false,
+        fit: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--rounds" => {
+                o.rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--rounds needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => o.out = args.next(),
+            "--baseline" => {
+                o.baseline = args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--update-baseline" => o.update_baseline = true,
+            "--report-only" => o.report_only = true,
+            "--no-fit" => o.fit = false,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --quick  --rounds N  --out FILE  --baseline FILE  \
+                     --update-baseline  --report-only  --no-fit"
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown option {other}"),
+        }
+    }
+    o
+}
+
+/// Fit-quality drift sweep: a small grid, fitted per (machine, op), with
+/// R²/residual/accuracy gauges exported so each BENCH_*.json carries the
+/// model-quality state alongside the wall-clock numbers.
+fn fit_metrics(reg: &mut MetricsRegistry) -> Result<(), String> {
+    let sweep = SweepBuilder::new()
+        .ops(OpClass::COLLECTIVES)
+        .message_sizes([64, 1024, 16_384])
+        .node_counts([8, 16, 32, 64])
+        .protocol(Protocol::quick());
+    let data = sweep.run_metered(reg).map_err(|e| e.to_string())?;
+    for d in perfmodel::diagnose_all(&data) {
+        d.export_metrics(reg);
+    }
+    Ok(())
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let opts = parse_opts();
+    let date = iso_date(
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
+
+    let mut reg = MetricsRegistry::new();
+    if opts.fit {
+        eprintln!("[perfgate] fit-quality sweep…");
+        if let Err(e) = fit_metrics(&mut reg) {
+            eprintln!("[perfgate] fit sweep failed: {e}");
+            return 2;
+        }
+    }
+
+    let suite = default_suite();
+    let protocol = if opts.quick {
+        Protocol::quick()
+    } else {
+        Protocol::paper()
+    };
+    eprintln!(
+        "[perfgate] timing {} suite points x {} rounds ({})…",
+        suite.len(),
+        opts.rounds,
+        if opts.quick { "quick" } else { "paper" }
+    );
+    let current = match run_suite(
+        &suite,
+        &protocol,
+        opts.rounds,
+        opts.quick,
+        date.clone(),
+        reg.snapshot(),
+        |done, total| {
+            if done % suite_progress_stride(total) == 0 || done == total {
+                eprintln!("[perfgate]   {done}/{total}");
+            }
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[perfgate] suite failed: {e}");
+            return 2;
+        }
+    };
+
+    let out_path = opts.out.clone().unwrap_or(format!("BENCH_{date}.json"));
+    let doc = current.to_json().to_string_pretty();
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("[perfgate] cannot write {out_path}: {e}");
+        return 2;
+    }
+    eprintln!("[perfgate] wrote {out_path}");
+
+    if opts.update_baseline {
+        if let Err(e) = std::fs::write(&opts.baseline, &doc) {
+            eprintln!("[perfgate] cannot write baseline {}: {e}", opts.baseline);
+            return 2;
+        }
+        println!(
+            "baseline updated: {} ({} points)",
+            opts.baseline,
+            current.points.len()
+        );
+        return 0;
+    }
+
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[perfgate] baseline {} invalid: {e}", opts.baseline);
+                return 2;
+            }
+        },
+        Err(_) => {
+            println!(
+                "no baseline at {} — run with --update-baseline to create one",
+                opts.baseline
+            );
+            let verdicts = compare(&current, &empty_baseline(&current));
+            println!("{}", report::perf::render(&perf_rows(&current, &verdicts)));
+            return 0;
+        }
+    };
+
+    let verdicts = compare(&current, &baseline);
+    println!(
+        "perfgate {date} vs baseline {} ({} rounds, {}); host drift {:+.1}% (normalized out):",
+        baseline.date,
+        current.rounds,
+        if current.quick { "quick" } else { "paper" },
+        (drift(&current, &baseline) - 1.0) * 100.0
+    );
+    println!("{}", report::perf::render(&perf_rows(&current, &verdicts)));
+
+    let regressions: Vec<_> = verdicts
+        .iter()
+        .filter(|v| v.status == GateStatus::Regression)
+        .collect();
+    if regressions.is_empty() {
+        println!("gate: PASS ({} points)", verdicts.len());
+        0
+    } else {
+        println!(
+            "gate: {} regression(s): {}",
+            regressions.len(),
+            regressions
+                .iter()
+                .map(|v| v.label.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if opts.report_only {
+            println!("(report-only mode: not failing the build)");
+            0
+        } else {
+            1
+        }
+    }
+}
+
+fn suite_progress_stride(total: usize) -> usize {
+    (total / 10).max(1)
+}
+
+/// A baseline with no points, so every current point reads as `new`.
+fn empty_baseline(current: &BenchReport) -> BenchReport {
+    BenchReport {
+        points: Vec::new(),
+        metrics: obs::Json::Null,
+        ..current.clone()
+    }
+}

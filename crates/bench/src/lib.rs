@@ -20,17 +20,21 @@
 //! | `explore` | single-configuration query tool |
 //! | `stap_report` | STAP workload per-stage breakdowns |
 //! | `full_report` | consolidated markdown report |
+//! | `perfgate` | continuous-benchmark suite + regression gate |
 //!
 //! All binaries accept `--quick` (reduced protocol) and `--csv DIR`
 //! (dump the measured dataset).
 //!
 //! Criterion micro-benchmarks of the simulator itself live in
-//! `benches/`.
+//! `benches/`; the wall-clock regression pipeline lives in
+//! [`perfgate`].
 
 use harness::{Dataset, Protocol};
 use mpisim::{Machine, OpClass};
 use perfmodel::paper;
 use std::time::Instant;
+
+pub mod perfgate;
 
 /// Common CLI options for the regenerator binaries.
 #[derive(Debug, Clone, Default)]
@@ -41,10 +45,13 @@ pub struct Cli {
     pub csv_dir: Option<String>,
     /// Output file path (`--out`, used by report-writing binaries).
     pub out: Option<String>,
+    /// Emit machine-readable JSON instead of the text rendering.
+    pub json: bool,
 }
 
 impl Cli {
-    /// Parses `--quick` and `--csv DIR` from `std::env::args`.
+    /// Parses `--quick`, `--csv DIR`, `--out FILE`, and `--json` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let mut cli = Cli::default();
         let mut args = std::env::args().skip(1);
@@ -53,8 +60,9 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--csv" => cli.csv_dir = args.next(),
                 "--out" => cli.out = args.next(),
+                "--json" => cli.json = true,
                 "--help" | "-h" => {
-                    eprintln!("options: --quick  --csv DIR  --out FILE");
+                    eprintln!("options: --quick  --csv DIR  --out FILE  --json");
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown option {other}"),

@@ -40,6 +40,8 @@ pub struct CalendarQueue<T> {
     len: usize,
     /// Lower bound on the next key to dequeue (last popped time).
     now: u64,
+    /// Number of adaptive resizes performed (growth + shrink).
+    resizes: u64,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -59,7 +61,27 @@ impl<T> CalendarQueue<T> {
             width: Self::INITIAL_WIDTH,
             len: 0,
             now: 0,
+            resizes: 0,
         }
+    }
+
+    /// Number of adaptive resizes (grow + shrink) performed so far —
+    /// a self-profiling signal: a resize is an O(n) rebuild, so a high
+    /// rate means the day width keeps mis-tracking the event spacing.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Current number of day buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Occupancy of the fullest day bucket — the worst-case linear-scan
+    /// cost of one dequeue. O(buckets); intended for sampled profiling,
+    /// not per-event calls.
+    pub fn max_bucket_occupancy(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// Number of queued events.
@@ -160,6 +182,7 @@ impl<T> CalendarQueue<T> {
     /// a power of two).
     fn resize(&mut self, nb: usize) {
         let nb = nb.max(Self::INITIAL_BUCKETS);
+        self.resizes += 1;
         // Sample spacing: (max - min) / len, rounded to a power of two.
         let mut min_t = u64::MAX;
         let mut max_t = 0u64;
@@ -211,6 +234,9 @@ mod tests {
             q.push((i * 37 % 4096, i), i);
         }
         assert_eq!(q.len(), 1000);
+        assert!(q.resizes() > 0, "1000 events force growth resizes");
+        assert!(q.bucket_count() >= CalendarQueue::<u64>::INITIAL_BUCKETS);
+        assert!(q.max_bucket_occupancy() > 0);
         let mut last = (0, 0);
         let mut n = 0;
         while let Some((k, _)) = q.pop() {

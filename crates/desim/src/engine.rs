@@ -130,6 +130,93 @@ impl<W> Queue<W> {
             Queue::Calendar(c) => c.len(),
         }
     }
+
+    /// `(resizes, buckets, max_bucket_occupancy)` for the calendar
+    /// backend; `None` for the heap.
+    fn calendar_stats(&self) -> Option<(u64, usize, usize)> {
+        match self {
+            Queue::Heap(_) => None,
+            Queue::Calendar(c) => Some((c.resizes(), c.bucket_count(), c.max_bucket_occupancy())),
+        }
+    }
+}
+
+/// Host-side engine self-profile, collected only when the engine was
+/// built [`Engine::with_profiling`]. Wall-clock figures come from
+/// `std::time::Instant` around [`Engine::run`]; queue statistics are
+/// sampled every [`EngineProfile::SAMPLE_EVERY`] fired events so the
+/// hot loop stays branch-plus-mask cheap.
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    /// Wall-clock nanoseconds spent inside `run()` loops.
+    wall_ns: u64,
+    /// Events fired inside timed `run()` windows.
+    events_timed: u64,
+    /// Number of queue-depth samples taken.
+    samples: u64,
+    /// Sampled pending-queue depths (pow2 buckets).
+    queue_depth: obs::Pow2Histogram,
+    /// Sampled fullest-day-bucket occupancy (calendar backend only).
+    calendar_occupancy: obs::Pow2Histogram,
+}
+
+impl EngineProfile {
+    /// Queue statistics are sampled once per this many fired events.
+    pub const SAMPLE_EVERY: u64 = 64;
+
+    /// Wall-clock nanoseconds spent inside timed `run()` windows.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// Events fired inside timed `run()` windows.
+    pub fn events_timed(&self) -> u64 {
+        self.events_timed
+    }
+
+    /// Events per wall-clock second over the timed windows; 0 before any
+    /// timed run completes.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events_timed as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// The sampled queue-depth distribution.
+    pub fn queue_depth(&self) -> &obs::Pow2Histogram {
+        &self.queue_depth
+    }
+
+    /// Exports the profile into `reg` under `engine.prof.*`.
+    pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter("engine.prof.wall_ns", self.wall_ns);
+        reg.counter("engine.prof.events_timed", self.events_timed);
+        reg.counter("engine.prof.samples", self.samples);
+        reg.gauge("engine.prof.events_per_sec", self.events_per_sec());
+        if self.queue_depth.count() > 0 {
+            reg.gauge(
+                "engine.prof.queue_depth.p50",
+                self.queue_depth.quantile(0.5).unwrap_or(0) as f64,
+            );
+            reg.gauge(
+                "engine.prof.queue_depth.p99",
+                self.queue_depth.quantile(0.99).unwrap_or(0) as f64,
+            );
+            reg.gauge("engine.prof.queue_depth.mean", self.queue_depth.mean());
+        }
+        if self.calendar_occupancy.count() > 0 {
+            reg.gauge(
+                "engine.prof.calendar.max_bucket.p50",
+                self.calendar_occupancy.quantile(0.5).unwrap_or(0) as f64,
+            );
+            reg.gauge(
+                "engine.prof.calendar.max_bucket.mean",
+                self.calendar_occupancy.mean(),
+            );
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation engine over world state `W`.
@@ -157,6 +244,9 @@ pub struct Engine<W> {
     fired: u64,
     event_limit: u64,
     queue_high_water: usize,
+    /// Self-profiling state; `None` (the default) costs one branch per
+    /// step and zero clock reads.
+    prof: Option<Box<EngineProfile>>,
 }
 
 impl<W> Default for Engine<W> {
@@ -193,6 +283,7 @@ impl<W> Engine<W> {
             fired: 0,
             event_limit: Self::DEFAULT_EVENT_LIMIT,
             queue_high_water: 0,
+            prof: None,
         }
     }
 
@@ -201,6 +292,21 @@ impl<W> Engine<W> {
     pub fn with_event_limit(mut self, limit: u64) -> Self {
         self.event_limit = limit;
         self
+    }
+
+    /// Enables engine self-profiling: wall-clock timing of `run()` loops
+    /// plus sampled queue-depth / calendar-occupancy histograms.
+    /// Profiling never perturbs the simulation itself — only host-side
+    /// counters are touched.
+    pub fn with_profiling(mut self) -> Self {
+        self.prof = Some(Box::default());
+        self
+    }
+
+    /// The collected self-profile; `None` unless built
+    /// [`Engine::with_profiling`].
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.prof.as_deref()
     }
 
     /// Current simulated time.
@@ -233,9 +339,18 @@ impl<W> Engine<W> {
     /// (`engine.queue.backend.heap` / `.calendar`).
     pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
         reg.counter("engine.events_fired", self.fired);
+        reg.counter("engine.scheduled_total", self.scheduler.next_seq);
         reg.gauge("engine.queue.high_water", self.queue_high_water as f64);
         reg.gauge("engine.queue.len", self.queue.len() as f64);
         reg.counter(format!("engine.queue.backend.{}", self.queue_backend()), 1);
+        if let Some((resizes, buckets, occ)) = self.queue.calendar_stats() {
+            reg.counter("engine.calendar.resizes", resizes);
+            reg.gauge("engine.calendar.buckets", buckets as f64);
+            reg.gauge("engine.calendar.max_bucket", occ as f64);
+        }
+        if let Some(prof) = &self.prof {
+            prof.export_metrics(reg);
+        }
     }
 
     /// True when no events remain.
@@ -285,12 +400,35 @@ impl<W> Engine<W> {
         self.scheduler.now = ev.at;
         (ev.run)(&mut self.scheduler, world);
         self.drain_pending();
+        if let Some(prof) = &mut self.prof {
+            if self.fired & (EngineProfile::SAMPLE_EVERY - 1) == 0 {
+                prof.samples += 1;
+                prof.queue_depth.record(self.queue.len() as u64);
+                if let Some((_, _, occ)) = self.queue.calendar_stats() {
+                    prof.calendar_occupancy.record(occ as u64);
+                }
+            }
+        }
         true
     }
 
     /// Runs until no events remain. Returns the final clock value.
+    ///
+    /// With profiling enabled the loop is wrapped in a wall-clock timer,
+    /// accumulating into the profile's `wall_ns` / `events_timed` (from
+    /// which events-per-second falls out).
     pub fn run(&mut self, world: &mut W) -> SimTime {
+        if self.prof.is_none() {
+            while self.step(world) {}
+            return self.now();
+        }
+        let fired_before = self.fired;
+        let start = std::time::Instant::now();
         while self.step(world) {}
+        let elapsed = start.elapsed();
+        let prof = self.prof.as_mut().expect("profiling enabled");
+        prof.wall_ns += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        prof.events_timed += self.fired - fired_before;
         self.now()
     }
 
@@ -446,6 +584,73 @@ mod tests {
         assert_eq!(
             reg.get("engine.queue.backend.heap").unwrap().as_f64(),
             Some(1.0)
+        );
+    }
+
+    #[test]
+    fn profiling_observes_without_perturbing() {
+        fn chain(e: &mut Engine<World>) -> (SimTime, World) {
+            let mut w: World = Vec::new();
+            for t in 1..=1000u64 {
+                e.schedule_at(SimTime::from_nanos(t * 3), record("x"));
+            }
+            let end = e.run(&mut w);
+            (end, w)
+        }
+        let (plain_end, plain_w) = chain(&mut Engine::new());
+        let mut profiled = Engine::new().with_profiling();
+        let (prof_end, prof_w) = chain(&mut profiled);
+        assert_eq!(plain_end, prof_end, "profiling must not change results");
+        assert_eq!(plain_w, prof_w);
+
+        let prof = profiled.profile().expect("profile collected");
+        assert!(prof.wall_ns() > 0);
+        assert_eq!(prof.events_timed(), 1000);
+        assert!(prof.events_per_sec() > 0.0);
+        assert!(prof.queue_depth().count() > 0, "depth sampled every 64");
+
+        let mut reg = obs::MetricsRegistry::new();
+        profiled.export_metrics(&mut reg);
+        assert!(reg.get("engine.prof.wall_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            reg.get("engine.prof.events_timed").unwrap().as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(
+            reg.get("engine.scheduled_total").unwrap().as_f64(),
+            Some(1000.0)
+        );
+    }
+
+    #[test]
+    fn disabled_profiling_exports_nothing() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(1), record("x"));
+        e.run(&mut w);
+        assert!(e.profile().is_none());
+        let mut reg = obs::MetricsRegistry::new();
+        e.export_metrics(&mut reg);
+        assert!(reg.get("engine.prof.wall_ns").is_none());
+    }
+
+    #[test]
+    fn calendar_backend_exports_queue_stats() {
+        let mut e = Engine::<World>::with_calendar_queue().with_profiling();
+        let mut w: World = Vec::new();
+        for t in 1..=500u64 {
+            e.schedule_at(SimTime::from_nanos(t * 7), record("x"));
+        }
+        e.run(&mut w);
+        let mut reg = obs::MetricsRegistry::new();
+        e.export_metrics(&mut reg);
+        assert!(reg.get("engine.calendar.resizes").is_some());
+        assert!(
+            reg.get("engine.calendar.buckets")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
         );
     }
 

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod time;
 
 pub use calqueue::CalendarQueue;
-pub use engine::{Engine, EventFn, Scheduler};
+pub use engine::{Engine, EngineProfile, EventFn, Scheduler};
 pub use resource::{FifoResource, Grant, ResourcePool};
 pub use rng::SplitMix64;
 pub use stats::{Counter, LogHistogram, Summary};

@@ -183,7 +183,10 @@ impl LogHistogram {
             .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
     }
 
-    /// Approximate quantile (returns a bucket floor). `q` in `[0, 1]`.
+    /// Approximate quantile (returns the containing bucket's midpoint —
+    /// floors would bias p50/p99 low by up to 2x for small counts).
+    /// Bucket 0 spans `[0, 2)` ns and reports 1 ns; bucket `i >= 1`
+    /// spans `[2^i, 2^(i+1))` and reports `1.5 * 2^i`. `q` in `[0, 1]`.
     ///
     /// Returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
@@ -196,8 +199,8 @@ impl LogHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let floor = if i == 0 { 0 } else { 1u64 << i };
-                return Some(SimDuration::from_nanos(floor));
+                let mid = if i == 0 { 1 } else { 3u64 << (i - 1) };
+                return Some(SimDuration::from_nanos(mid));
             }
         }
         None
@@ -306,8 +309,10 @@ mod tests {
         for ns in [1u64, 2, 4, 8, 1_000_000] {
             h.record(SimDuration::from_nanos(ns));
         }
-        assert_eq!(h.quantile(0.0).unwrap().as_nanos(), 0);
-        assert!(h.quantile(1.0).unwrap().as_nanos() >= 512 * 1024);
+        // Quantiles report bucket midpoints, not floors: 1 lands in
+        // bucket 0 ([0,2) -> 1 ns), 1 ms lands in [2^19, 2^20) -> 1.5*2^19.
+        assert_eq!(h.quantile(0.0).unwrap().as_nanos(), 1);
+        assert_eq!(h.quantile(1.0).unwrap().as_nanos(), 3 << 18);
         assert!(LogHistogram::new().quantile(0.5).is_none());
     }
 

@@ -126,6 +126,7 @@ pub fn measure(
                 start_times: Some(skew),
                 cpu_noise,
                 record_trace: false,
+                profile: false,
             },
         )?;
 

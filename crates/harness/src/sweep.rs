@@ -203,15 +203,42 @@ impl SweepBuilder {
     }
 
     /// Runs the sweep and exports coverage metrics into `reg`: points
-    /// measured per machine and per operation, plus the distribution of
-    /// measured times.
+    /// measured per machine and per operation, the distribution of
+    /// measured times, and host wall-clock metering — per-point
+    /// wall-clock histogram plus quantiles (`sweep.wall_ns` /
+    /// `sweep.wall.*`), total wall time, and measured points per second.
     ///
     /// # Errors
     ///
     /// Propagates the first measurement failure.
     pub fn run_metered(&self, reg: &mut obs::MetricsRegistry) -> Result<Dataset, SimMpiError> {
-        let data = self.run()?;
+        let mut wall = obs::QuantileSketch::new();
+        let start = std::time::Instant::now();
+        let mut last = start;
+        let data = self.run_with_progress(|_, _| {
+            let now = std::time::Instant::now();
+            let point_ns = now.duration_since(last).as_nanos();
+            last = now;
+            reg.observe("sweep.wall_ns", u64::try_from(point_ns).unwrap_or(u64::MAX));
+            wall.record(point_ns as f64);
+        })?;
+        let total_ns = start.elapsed().as_nanos() as f64;
         reg.counter("sweep.points", data.len() as u64);
+        reg.gauge("sweep.wall.total_ns", total_ns);
+        if !data.is_empty() && total_ns > 0.0 {
+            reg.gauge(
+                "sweep.wall.points_per_sec",
+                data.len() as f64 / (total_ns / 1e9),
+            );
+        }
+        if !wall.is_empty() {
+            reg.gauge("sweep.wall.point_p50_ns", wall.quantile(0.5).unwrap_or(0.0));
+            reg.gauge(
+                "sweep.wall.point_p99_ns",
+                wall.quantile(0.99).unwrap_or(0.0),
+            );
+            reg.gauge("sweep.wall.point_max_ns", wall.max().unwrap_or(0.0));
+        }
         for m in data.iter() {
             reg.counter(format!("sweep.points.{}", m.machine), 1);
             reg.counter(format!("sweep.points.op.{}", m.op.paper_name()), 1);
@@ -297,6 +324,15 @@ mod tests {
         let data = b.run_metered(&mut reg).unwrap();
         assert_eq!(data.len(), 2);
         assert_eq!(reg.get("sweep.points").unwrap().as_f64(), Some(2.0));
+        assert!(reg.get("sweep.wall.total_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            reg.get("sweep.wall.points_per_sec")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(reg.get("sweep.wall.point_p50_ns").is_some());
         assert!(reg.get("sweep.points.Cray T3D").is_some());
         assert!(
             reg.get("sweep.points.op.broadcast").is_some() || {

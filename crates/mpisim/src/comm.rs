@@ -18,6 +18,10 @@ pub struct RunOptions {
     pub cpu_noise: Option<CpuNoise>,
     /// Record message traces and link loads.
     pub record_trace: bool,
+    /// Collect an engine self-profile (wall-clock, events/sec, sampled
+    /// queue depth); surfaced via [`crate::exec::Observed`] on observed
+    /// runs. Zero cost when off.
+    pub profile: bool,
 }
 
 /// How a communicator's ranks map onto the machine.
@@ -326,6 +330,7 @@ impl Communicator {
             trace_limit: None,
             placement: self.machine.placement(),
             cpu_noise: options.cpu_noise,
+            profile: options.profile,
             group: match &self.scope {
                 CommScope::Whole => None,
                 CommScope::Group {

@@ -54,6 +54,11 @@ pub struct ExecConfig {
     /// size of the full machine partition the topology is built for.
     /// Overrides `placement` when set.
     pub group: Option<(ExplicitPlacement, usize)>,
+    /// Enable engine self-profiling (host wall-clock, events/sec, sampled
+    /// queue depth). Zero cost when off; the collected
+    /// [`desim::EngineProfile`] is returned via [`Observed`] on observed
+    /// runs.
+    pub profile: bool,
 }
 
 /// Background-interference model: per-rank CPU slowdown.
@@ -161,6 +166,8 @@ pub struct Observed {
     pub net: NetInstr,
     /// Event-queue high-water mark of the run.
     pub queue_high_water: usize,
+    /// Engine self-profile, when [`ExecConfig::profile`] was set.
+    pub engine_profile: Option<desim::EngineProfile>,
 }
 
 /// The outcome of executing a schedule sequence.
@@ -410,7 +417,11 @@ fn execute_inner(
     if observe {
         world.net.enable_instrumentation();
     }
-    let mut engine: Engine<World> = Engine::new();
+    let mut engine: Engine<World> = if cfg.profile {
+        Engine::new().with_profiling()
+    } else {
+        Engine::new()
+    };
     for (r, &t) in start.iter().enumerate() {
         engine.schedule_at(t, advance_event(r));
     }
@@ -441,6 +452,7 @@ fn execute_inner(
         spans: world.spans.take().unwrap_or_default(),
         net: world.net.instrumentation().cloned().unwrap_or_default(),
         queue_high_water: engine.queue_high_water(),
+        engine_profile: engine.profile().cloned(),
     });
     let phases = world
         .ranks
@@ -869,6 +881,78 @@ mod tests {
             assert_eq!(span_sum(&obs.spans, r, false), out.phases[r].sw);
             assert_eq!(span_sum(&obs.spans, r, true), out.phases[r].blocked);
         }
+    }
+
+    #[test]
+    fn profiled_run_collects_engine_profile_without_perturbing() {
+        let spec = t3d();
+        let s = collectives::alltoall::pairwise(16, 2048);
+        let plain = run(&spec, &s);
+        let (out, obs) = execute_observed(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                profile: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.finish, plain.finish, "profiling must not change timing");
+        let prof = obs.engine_profile.expect("profile collected");
+        assert!(prof.wall_ns() > 0);
+        assert_eq!(prof.events_timed(), out.events);
+        // Unprofiled observed runs carry no profile.
+        let (_, obs2) = execute_observed(&spec, &[&s], &ExecConfig::default()).unwrap();
+        assert!(obs2.engine_profile.is_none());
+    }
+
+    /// Spot-check of the self-profiling overhead claim (run manually):
+    ///
+    /// ```text
+    /// cargo test -p mpisim --release -- --ignored --nocapture profiling_overhead
+    /// ```
+    ///
+    /// Times a 64-node alltoall repeatedly with profiling off and on and
+    /// prints the wall-clock ratio; the enabled path should stay within
+    /// a couple percent of the disabled one.
+    #[test]
+    #[ignore = "wall-clock measurement; run manually in release mode"]
+    fn profiling_overhead_spotcheck() {
+        let spec = t3d();
+        let s = collectives::alltoall::pairwise(64, 4096);
+        let time = |profile: bool| {
+            let cfg = ExecConfig {
+                profile,
+                ..ExecConfig::default()
+            };
+            // Warmup, then best-of-3 timing batches to shed scheduler noise.
+            for _ in 0..5 {
+                execute_observed(&spec, &[&s], &cfg).unwrap();
+            }
+            let reps = 30;
+            (0..3)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..reps {
+                        execute_observed(&spec, &[&s], &cfg).unwrap();
+                    }
+                    t0.elapsed().as_secs_f64() / reps as f64
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let off = time(false);
+        let on = time(true);
+        println!(
+            "profiling off {:.3} ms/run, on {:.3} ms/run, overhead {:+.2}%",
+            off * 1e3,
+            on * 1e3,
+            (on / off - 1.0) * 100.0
+        );
+        assert!(
+            on / off < 1.10,
+            "overhead {:.1}% >= 10%",
+            (on / off - 1.0) * 100.0
+        );
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub fn export_metrics(out: &ExecOutcome, observed: &Observed, reg: &mut MetricsR
     reg.gauge("exec.blocked.total_us", blocked_total);
     reg.gauge("exec.blocked.max_us", blocked_max);
     observed.net.export_metrics(reg);
+    if let Some(prof) = &observed.engine_profile {
+        prof.export_metrics(reg);
+    }
 }
 
 /// The full snapshot document written next to a trace: the run manifest

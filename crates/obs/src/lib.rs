@@ -6,7 +6,7 @@
 //! *where* does simulated time go (software overhead vs. wire vs.
 //! blocked-waiting), which links saturate, and why two schedules differ.
 //!
-//! Three pieces:
+//! The pieces:
 //!
 //! * [`MetricsRegistry`] — named counters, gauges, and power-of-two
 //!   histograms. Simulator components keep their own cheap accumulators
@@ -16,6 +16,11 @@
 //!   per MPI rank, async arrows for messages.
 //! * [`RunManifest`] — provenance header (machine, p, m, seed, config
 //!   ablations) attached to every exported artifact.
+//! * [`QuantileSketch`] — streaming mergeable quantile summary for
+//!   host-side wall-clock latencies where pow2 buckets are too coarse.
+//! * [`Profiler`] — named wall-clock timers (zero-cost when disabled)
+//!   for profiling the simulator itself.
+//! * [`prom`] — Prometheus text-exposition export of a registry.
 //!
 //! The crate is intentionally dependency-free — even of `desim` — so
 //! every layer of the stack can feed it without cycles. Times cross the
@@ -23,10 +28,15 @@
 
 pub mod json;
 pub mod manifest;
+pub mod prof;
+pub mod prom;
+pub mod quantile;
 pub mod registry;
 pub mod trace;
 
 pub use json::{validate, Json};
 pub use manifest::RunManifest;
+pub use prof::Profiler;
+pub use quantile::QuantileSketch;
 pub use registry::{Metric, MetricsRegistry, Pow2Histogram};
 pub use trace::ChromeTrace;

@@ -1,0 +1,222 @@
+//! Host-side self-profiling: named wall-clock timers with streaming
+//! quantile summaries, behind a zero-cost-when-off switch.
+//!
+//! PR 1 made the *simulated* machines observable; this module watches
+//! the simulator itself. A [`Profiler`] owns a set of named timers
+//! (`"collective.bcast"`, `"sweep.point"`, ...), each accumulating call
+//! count, total wall-clock nanoseconds, and a [`QuantileSketch`] of
+//! per-call latencies. A disabled profiler never reads the OS clock —
+//! [`Profiler::time`] degenerates to a direct call of the closure and
+//! [`Profiler::record_ns`] to a single branch — so instrumented code
+//! paths cost nothing in production measurement loops.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{MetricsRegistry, Profiler};
+//!
+//! let mut prof = Profiler::enabled();
+//! let out = prof.time("phase.fit", || 2 + 2);
+//! assert_eq!(out, 4);
+//! let mut reg = MetricsRegistry::new();
+//! prof.export_metrics(&mut reg);
+//! assert_eq!(reg.get("prof.phase.fit.calls").unwrap().as_f64(), Some(1.0));
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::quantile::QuantileSketch;
+use crate::registry::MetricsRegistry;
+
+/// Per-timer accumulator.
+#[derive(Debug, Clone, Default)]
+struct TimerStats {
+    calls: u64,
+    total_ns: u64,
+    sketch: QuantileSketch,
+}
+
+/// A named wall-clock timer registry with an on/off master switch.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    timers: BTreeMap<String, TimerStats>,
+}
+
+impl Profiler {
+    /// A profiler that records.
+    pub fn enabled() -> Self {
+        Profiler {
+            enabled: true,
+            timers: BTreeMap::new(),
+        }
+    }
+
+    /// A profiler that ignores everything (the zero-cost default).
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    /// Whether this profiler records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `name`. When the
+    /// profiler is disabled this is exactly `f()` — no clock reads.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_ns(name, ns);
+        out
+    }
+
+    /// Records an externally measured duration against `name`. A no-op
+    /// when disabled.
+    pub fn record_ns(&mut self, name: &str, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let stats = self.timers.entry(name.to_string()).or_default();
+        stats.calls += 1;
+        stats.total_ns = stats.total_ns.saturating_add(ns);
+        stats.sketch.record(ns as f64);
+    }
+
+    /// Number of distinct timers recorded so far.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Call count of timer `name` (0 if never recorded).
+    pub fn calls(&self, name: &str) -> u64 {
+        self.timers.get(name).map_or(0, |t| t.calls)
+    }
+
+    /// Total nanoseconds attributed to `name`.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.timers.get(name).map_or(0, |t| t.total_ns)
+    }
+
+    /// The latency sketch of timer `name`, when it has recorded.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.timers.get(name).map(|t| &t.sketch)
+    }
+
+    /// Merges another profiler's timers into this one (timer-wise sketch
+    /// merge; counts and totals add). Enabled-ness is unchanged.
+    pub fn absorb(&mut self, other: &Profiler) {
+        for (name, stats) in &other.timers {
+            let mine = self.timers.entry(name.clone()).or_default();
+            mine.calls += stats.calls;
+            mine.total_ns = mine.total_ns.saturating_add(stats.total_ns);
+            mine.sketch.merge(&stats.sketch);
+        }
+    }
+
+    /// Exports every timer into `reg` under `prof.<name>.*`:
+    /// `calls` / `total_ns` counters plus `mean_ns`, `p50_ns`, `p90_ns`,
+    /// `p99_ns`, `max_ns` gauges from the quantile sketch.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for (name, stats) in &self.timers {
+            reg.counter(format!("prof.{name}.calls"), stats.calls);
+            reg.counter(format!("prof.{name}.total_ns"), stats.total_ns);
+            reg.gauge(format!("prof.{name}.mean_ns"), stats.sketch.mean());
+            for (q, label) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                if let Some(v) = stats.sketch.quantile(q) {
+                    reg.gauge(format!("prof.{name}.{label}_ns"), v);
+                }
+            }
+            if let Some(v) = stats.sketch.max() {
+                reg.gauge(format!("prof.{name}.max_ns"), v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        let out = p.time("x", || 42);
+        assert_eq!(out, 42);
+        p.record_ns("x", 1000);
+        assert!(p.is_empty());
+        assert_eq!(p.calls("x"), 0);
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates() {
+        let mut p = Profiler::enabled();
+        p.record_ns("op.bcast", 100);
+        p.record_ns("op.bcast", 300);
+        p.record_ns("op.reduce", 50);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.calls("op.bcast"), 2);
+        assert_eq!(p.total_ns("op.bcast"), 400);
+        assert_eq!(p.sketch("op.bcast").unwrap().mean(), 200.0);
+    }
+
+    #[test]
+    fn time_measures_wall_clock() {
+        let mut p = Profiler::enabled();
+        p.time("sleep", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        assert_eq!(p.calls("sleep"), 1);
+        assert!(p.total_ns("sleep") >= 2_000_000, "{}", p.total_ns("sleep"));
+    }
+
+    #[test]
+    fn absorb_merges_timerwise() {
+        let mut a = Profiler::enabled();
+        let mut b = Profiler::enabled();
+        a.record_ns("x", 10);
+        b.record_ns("x", 30);
+        b.record_ns("y", 5);
+        a.absorb(&b);
+        assert_eq!(a.calls("x"), 2);
+        assert_eq!(a.total_ns("x"), 40);
+        assert_eq!(a.calls("y"), 1);
+    }
+
+    #[test]
+    fn export_produces_prof_namespace() {
+        let mut p = Profiler::enabled();
+        for ns in [100u64, 200, 300, 400, 500] {
+            p.record_ns("phase.measure", ns);
+        }
+        let mut reg = MetricsRegistry::new();
+        p.export_metrics(&mut reg);
+        assert_eq!(
+            reg.get("prof.phase.measure.calls").unwrap().as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(
+            reg.get("prof.phase.measure.total_ns").unwrap().as_f64(),
+            Some(1500.0)
+        );
+        assert_eq!(
+            reg.get("prof.phase.measure.p50_ns").unwrap().as_f64(),
+            Some(300.0)
+        );
+        assert_eq!(
+            reg.get("prof.phase.measure.max_ns").unwrap().as_f64(),
+            Some(500.0)
+        );
+    }
+}

@@ -86,8 +86,16 @@ impl Pow2Histogram {
             .collect()
     }
 
-    /// Approximate quantile: the floor of the bucket containing the
-    /// `q`-th sample. `None` when empty.
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Approximate quantile: the midpoint of the bucket containing the
+    /// `q`-th sample (bucket floors would bias p50/p99 low by up to 2x
+    /// for small counts). Bucket 0 spans `[0, 2)` and reports 1; bucket
+    /// `i >= 1` spans `[2^i, 2^(i+1))` and reports `1.5 * 2^i`. `None`
+    /// when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -97,7 +105,7 @@ impl Pow2Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i == 0 { 0 } else { 1u64 << i });
+                return Some(if i == 0 { 1 } else { 3u64 << (i - 1) });
             }
         }
         None
@@ -299,8 +307,11 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 5);
-        assert_eq!(h.quantile(0.0), Some(0));
-        assert_eq!(h.quantile(1.0), Some(1024));
+        // Quantiles report bucket midpoints: bucket 0 ([0,2)) reads 1,
+        // the 1024 bucket ([1024,2048)) reads 1536.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(1536));
+        assert_eq!(h.sum(), 1030);
         assert!((h.mean() - 206.0).abs() < 1.0);
         let buckets = h.nonzero_buckets();
         assert!(buckets.contains(&(0, 2))); // 0 and 1

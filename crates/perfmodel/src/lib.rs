@@ -31,6 +31,7 @@
 pub mod accuracy;
 pub mod breakdown;
 pub mod crossover;
+pub mod diagnostics;
 pub mod fit;
 pub mod formula;
 pub mod hockney;
@@ -41,6 +42,7 @@ pub mod surface;
 pub use accuracy::{score, split_by_nodes, Accuracy};
 pub use breakdown::{bandwidth_series, breakdown, BandwidthPoint, Breakdown};
 pub use crossover::{crossover, Crossover};
+pub use diagnostics::{diagnose, diagnose_all, FitDiagnostics};
 pub use fit::{linear_fit, LinFit};
 pub use formula::{fit_term, Growth, Term, TimingFormula};
 pub use hockney::{fit_hockney, HockneyFit};

@@ -7,6 +7,7 @@
 //!   headline comparisons);
 //! * [`chart::LogChart`] — log-log ASCII charts (Figs. 1–3, 5);
 //! * [`csv`] — dataset export for external plotting;
+//! * [`perf`] — the perfgate wall-clock summary table;
 //! * [`timeline::Timeline`] — per-rank message timelines from executor
 //!   traces.
 
@@ -14,6 +15,7 @@ pub mod chart;
 pub mod csv;
 pub mod gnuplot;
 pub mod metrics;
+pub mod perf;
 pub mod table;
 pub mod timeline;
 

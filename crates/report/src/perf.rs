@@ -1,0 +1,114 @@
+//! Rendering of perfgate results: the per-collective wall-clock summary
+//! table printed by `bench/perfgate` and embedded in CI logs.
+//!
+//! The module deliberately takes plain row structs rather than perfgate's
+//! own types — `report` sits below `bench` in the dependency order, so
+//! the bench pipeline adapts its results into [`PerfRow`]s.
+
+use crate::table::Table;
+
+/// One suite point's summary, already reduced to robust statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Suite-point label, e.g. `sp2/alltoall`.
+    pub label: String,
+    /// Robust point estimate (median of per-round wall times), µs.
+    pub wall_us: f64,
+    /// Bootstrap confidence interval around the estimate, µs.
+    pub ci_low_us: f64,
+    /// Upper CI bound, µs.
+    pub ci_high_us: f64,
+    /// Committed baseline estimate, µs; `None` for new suite points.
+    pub baseline_us: Option<f64>,
+    /// Gate verdict for the point: `ok`, `faster`, `REGRESSION`, `new`.
+    pub verdict: String,
+}
+
+impl PerfRow {
+    /// `current / baseline` ratio; `None` without a baseline.
+    pub fn ratio(&self) -> Option<f64> {
+        self.baseline_us
+            .filter(|&b| b > 0.0)
+            .map(|b| self.wall_us / b)
+    }
+}
+
+fn fmt_us(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Renders the perf summary as an aligned text table: point estimate,
+/// confidence interval, baseline, relative change, and verdict per row.
+pub fn render(rows: &[PerfRow]) -> String {
+    let mut t = Table::new([
+        "suite point",
+        "wall µs",
+        "95% CI",
+        "baseline",
+        "Δ%",
+        "verdict",
+    ]);
+    for r in rows {
+        let (base, delta) = match (r.baseline_us, r.ratio()) {
+            (Some(b), Some(ratio)) => (fmt_us(b), format!("{:+.1}", (ratio - 1.0) * 100.0)),
+            _ => ("-".into(), "-".into()),
+        };
+        t.push_row([
+            r.label.clone(),
+            fmt_us(r.wall_us),
+            format!("[{}, {}]", fmt_us(r.ci_low_us), fmt_us(r.ci_high_us)),
+            base,
+            delta,
+            r.verdict.clone(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, wall: f64, baseline: Option<f64>, verdict: &str) -> PerfRow {
+        PerfRow {
+            label: label.into(),
+            wall_us: wall,
+            ci_low_us: wall * 0.95,
+            ci_high_us: wall * 1.05,
+            baseline_us: baseline,
+            verdict: verdict.into(),
+        }
+    }
+
+    #[test]
+    fn renders_all_columns() {
+        let text = render(&[
+            row("sp2/alltoall", 1234.5, Some(1200.0), "ok"),
+            row("t3d/barrier", 88.2, None, "new"),
+        ]);
+        assert!(text.contains("sp2/alltoall"), "{text}");
+        assert!(text.contains("1234.5"), "{text}");
+        assert!(text.contains("+2.9"), "{text}");
+        assert!(text.contains("new"), "{text}");
+        // Baseline-less rows render dashes, not zeros.
+        let barrier_line = text.lines().find(|l| l.contains("t3d/barrier")).unwrap();
+        assert!(barrier_line.contains('-'), "{barrier_line}");
+    }
+
+    #[test]
+    fn ratio_requires_positive_baseline() {
+        assert_eq!(row("x", 100.0, Some(50.0), "ok").ratio(), Some(2.0));
+        assert_eq!(row("x", 100.0, Some(0.0), "ok").ratio(), None);
+        assert_eq!(row("x", 100.0, None, "ok").ratio(), None);
+    }
+
+    #[test]
+    fn large_values_drop_decimals() {
+        let text = render(&[row("sp2/alltoall", 123_456.7, None, "ok")]);
+        assert!(text.contains("123457"), "{text}");
+    }
+}

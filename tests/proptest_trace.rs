@@ -65,6 +65,7 @@ fn same_seed_runs_trace_identically() {
                     start_times: Some(skew),
                     cpu_noise: None,
                     record_trace: true,
+                    profile: false,
                 },
             )
             .expect("observed run")
