@@ -32,6 +32,9 @@
 //! # Ok::<(), collectives::select::UnsupportedAlgorithm>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod alltoall;
 pub mod barrier;
 pub mod bcast;

@@ -67,10 +67,37 @@ pub enum ScheduleError {
         in_program: Rank,
     },
     /// Execution stalled: the listed ranks wait on messages never sent
-    /// (or sent in a different order than expected).
+    /// (or sent in a different order than expected). Returned only when
+    /// the stall has no wait-for cycle — the blocked ranks wait on
+    /// senders that already finished; a cyclic stall is reported as the
+    /// more precise [`ScheduleError::DeadlockCycle`].
     Stuck {
         /// Ranks blocked at a `Recv` when no progress is possible.
         waiting: Vec<Rank>,
+    },
+    /// Execution deadlocked on a wait-for cycle: each listed rank is
+    /// blocked at the given `Recv` step waiting on the *next* rank in
+    /// the list (the last waits on the first). The cycle is rotated so
+    /// the smallest rank leads, making diagnostics deterministic.
+    DeadlockCycle {
+        /// The blocked `(rank, step)` pairs, in wait-for order.
+        cycle: Vec<(Rank, Step)>,
+    },
+    /// Two messages with different sizes on the same (sender, receiver)
+    /// channel are not ordered by happens-before: under another
+    /// interleaving (e.g. network overtaking between messages in flight
+    /// concurrently) the receiver's `Recv`s could match either message.
+    /// The single-interleaving dynamic check cannot see this; it is
+    /// produced by the static analyzer in the `schedcheck` crate.
+    AmbiguousMatch {
+        /// Sender of the raced channel.
+        from: Rank,
+        /// Receiver of the raced channel.
+        to: Rank,
+        /// Bytes of the earlier-posted message.
+        earlier: u32,
+        /// Bytes of the later-posted message racing with it.
+        later: u32,
     },
     /// A message arrived whose size differs from the matching `Recv`.
     SizeMismatch {
@@ -99,6 +126,24 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::Stuck { waiting } => {
                 write!(f, "schedule deadlocks; waiting ranks: {waiting:?}")
             }
+            ScheduleError::DeadlockCycle { cycle } => {
+                write!(f, "schedule deadlocks on wait-for cycle:")?;
+                for (rank, step) in cycle {
+                    write!(f, " {rank} blocked at {step:?};")?;
+                }
+                Ok(())
+            }
+            ScheduleError::AmbiguousMatch {
+                from,
+                to,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "ambiguous match on channel {from}->{to}: {earlier}-byte and \
+                 {later}-byte messages can be in flight concurrently and could \
+                 match either Recv under reordering"
+            ),
             ScheduleError::SizeMismatch {
                 from,
                 to,
@@ -193,8 +238,15 @@ impl Schedule {
     }
 
     /// Validates the schedule by abstract execution: checks rank ranges,
-    /// FIFO matching, size agreement, deadlock freedom, and that no sent
-    /// message goes unreceived.
+    /// FIFO matching, size agreement, deadlock freedom (reporting the
+    /// exact wait-for cycle when one exists), and that no sent message
+    /// goes unreceived.
+    ///
+    /// This is the single pre-check implementation shared by the dynamic
+    /// executor (`mpisim::exec`) and the static analyzer (`schedcheck`),
+    /// so the two passes cannot drift: `schedcheck::verify` delegates
+    /// here before layering on its interleaving-independent analyses
+    /// (match ambiguity, volume conservation, depth bounds).
     ///
     /// # Errors
     ///
@@ -337,6 +389,9 @@ impl Schedule {
                 return Ok((max_depth, steps_run));
             }
             if !progressed {
+                if let Some(cycle) = self.wait_cycle(&pc) {
+                    return Err(ScheduleError::DeadlockCycle { cycle });
+                }
                 let waiting = (0..p)
                     .filter(|&r| pc[r] < self.programs[r].len())
                     .map(Rank)
@@ -344,6 +399,68 @@ impl Schedule {
                 return Err(ScheduleError::Stuck { waiting });
             }
         }
+    }
+
+    /// Extracts a wait-for cycle from a stalled abstract execution, if
+    /// one exists. `pc` is the per-rank program counter at the stall;
+    /// every unfinished rank is necessarily blocked at a `Recv` (the
+    /// other step kinds always progress under eager abstract execution),
+    /// so each blocked rank waits on exactly one other rank and the
+    /// wait-for graph is functional — a single pointer walk per
+    /// component finds any cycle.
+    fn wait_cycle(&self, pc: &[usize]) -> Option<Vec<(Rank, Step)>> {
+        let p = self.ranks();
+        let waits_on = |r: usize| -> Option<usize> {
+            match self.programs[r].get(pc[r]) {
+                Some(Step::Recv { from, .. }) => Some(from.0),
+                _ => None,
+            }
+        };
+        // 0 = unvisited, 1 = on the current walk, 2 = known cycle-free.
+        let mut state = vec![0u8; p];
+        for start in 0..p {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            loop {
+                if state[cur] == 1 {
+                    // `cur` reappeared on this walk: the tail of `path`
+                    // from its first occurrence is the cycle.
+                    let pos = path.iter().position(|&r| r == cur)?;
+                    let mut cycle: Vec<usize> = path[pos..].to_vec();
+                    let lead = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &r)| r)
+                        .map(|(i, _)| i)?;
+                    cycle.rotate_left(lead);
+                    return Some(
+                        cycle
+                            .into_iter()
+                            .map(|r| (Rank(r), self.programs[r][pc[r]]))
+                            .collect(),
+                    );
+                }
+                if state[cur] == 2 {
+                    break;
+                }
+                state[cur] = 1;
+                path.push(cur);
+                match waits_on(cur) {
+                    // Follow the edge only into a rank that is itself
+                    // blocked; a finished sender ends the chain (orphan
+                    // wait, reported as `Stuck`).
+                    Some(next) if pc[next] < self.programs[next].len() => cur = next,
+                    _ => break,
+                }
+            }
+            for r in path {
+                state[r] = 2;
+            }
+        }
+        None
     }
 }
 
@@ -384,15 +501,70 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_detected() {
+    fn deadlock_reports_exact_cycle() {
         let mut s = Schedule::new(OpClass::PointToPoint, 2);
         s.push(Rank(0), recv(1, 8));
         s.push(Rank(1), recv(0, 8));
         match s.check() {
-            Err(ScheduleError::Stuck { waiting }) => {
-                assert_eq!(waiting, vec![Rank(0), Rank(1)]);
+            Err(ScheduleError::DeadlockCycle { cycle }) => {
+                assert_eq!(cycle, vec![(Rank(0), recv(1, 8)), (Rank(1), recv(0, 8))]);
             }
+            other => panic!("expected DeadlockCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_cycle_rotates_to_smallest_rank() {
+        // 1 waits on 2, 2 waits on 0, 0 waits on 1 — plus sends that
+        // would run after the recvs, proving the cycle is the blocker.
+        let mut s = Schedule::new(OpClass::PointToPoint, 3);
+        s.push(Rank(0), recv(1, 8));
+        s.push(Rank(0), send(2, 8));
+        s.push(Rank(1), recv(2, 8));
+        s.push(Rank(1), send(0, 8));
+        s.push(Rank(2), recv(0, 8));
+        s.push(Rank(2), send(1, 8));
+        match s.check() {
+            Err(ScheduleError::DeadlockCycle { cycle }) => {
+                assert_eq!(
+                    cycle,
+                    vec![
+                        (Rank(0), recv(1, 8)),
+                        (Rank(1), recv(2, 8)),
+                        (Rank(2), recv(0, 8)),
+                    ]
+                );
+            }
+            other => panic!("expected DeadlockCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_wait_is_stuck_not_cycle() {
+        // Rank 0 waits on a rank whose program finished without sending:
+        // no wait-for cycle exists, so the plain Stuck diagnosis stands.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), recv(1, 8));
+        match s.check() {
+            Err(ScheduleError::Stuck { waiting }) => assert_eq!(waiting, vec![Rank(0)]),
             other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_found_behind_orphan_chain() {
+        // Rank 0 waits on the 1<->2 cycle; the cycle — not rank 0 — is
+        // the root cause and must be what gets reported.
+        let mut s = Schedule::new(OpClass::PointToPoint, 3);
+        s.push(Rank(0), recv(1, 8));
+        s.push(Rank(1), recv(2, 8));
+        s.push(Rank(1), send(0, 8));
+        s.push(Rank(2), recv(1, 8));
+        match s.check() {
+            Err(ScheduleError::DeadlockCycle { cycle }) => {
+                assert_eq!(cycle, vec![(Rank(1), recv(2, 8)), (Rank(2), recv(1, 8))]);
+            }
+            other => panic!("expected DeadlockCycle, got {other:?}"),
         }
     }
 
@@ -532,5 +704,22 @@ mod tests {
             waiting: vec![Rank(1)],
         };
         assert!(e.to_string().contains("deadlock"));
+
+        let e = ScheduleError::DeadlockCycle {
+            cycle: vec![(Rank(0), recv(1, 8)), (Rank(1), recv(0, 8))],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("wait-for cycle"), "got: {msg}");
+        assert!(msg.contains("r0") && msg.contains("r1"), "got: {msg}");
+
+        let e = ScheduleError::AmbiguousMatch {
+            from: Rank(2),
+            to: Rank(3),
+            earlier: 8,
+            later: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ambiguous"), "got: {msg}");
+        assert!(msg.contains("r2->r3"), "got: {msg}");
     }
 }

@@ -31,6 +31,9 @@
 //! assert_eq!(end.as_micros_f64(), 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod calqueue;
 pub mod check;
 pub mod engine;

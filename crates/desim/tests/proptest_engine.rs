@@ -2,6 +2,8 @@
 //! resource FIFO invariants, statistics correctness. Runs on the
 //! in-repo deterministic harness ([`desim::check`]).
 
+#![allow(clippy::unwrap_used)]
+
 use desim::check::forall;
 use desim::{Engine, FifoResource, SimDuration, SimTime, SplitMix64, Summary};
 

@@ -24,6 +24,8 @@
 //! # Ok::<(), mpisim::SimMpiError>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod dataset;
 pub mod measure;
 pub mod pingpong;

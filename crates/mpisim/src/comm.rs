@@ -509,121 +509,135 @@ impl Communicator {
 
 #[cfg(test)]
 mod tests {
+    //! These tests return `Result<(), SimMpiError>` and propagate
+    //! failures with `?` instead of unwrapping, so a failing collective
+    //! reports the typed error (the same vocabulary `schedcheck` emits)
+    //! rather than a bare panic site.
     use super::*;
     use crate::machine::Machine;
 
     #[test]
-    fn all_collectives_run_on_all_machines() {
+    fn all_collectives_run_on_all_machines() -> Result<(), SimMpiError> {
         for machine in Machine::all() {
-            let comm = machine.communicator(16).unwrap();
+            let comm = machine.communicator(16)?;
             for out in [
-                comm.bcast(Rank(0), 1024).unwrap(),
-                comm.scatter(Rank(0), 1024).unwrap(),
-                comm.gather(Rank(0), 1024).unwrap(),
-                comm.reduce(Rank(0), 1024).unwrap(),
-                comm.scan(1024).unwrap(),
-                comm.alltoall(1024).unwrap(),
-                comm.barrier().unwrap(),
-                comm.allgather(1024).unwrap(),
-                comm.allreduce(1024).unwrap(),
-                comm.reduce_scatter(1024).unwrap(),
+                comm.bcast(Rank(0), 1024)?,
+                comm.scatter(Rank(0), 1024)?,
+                comm.gather(Rank(0), 1024)?,
+                comm.reduce(Rank(0), 1024)?,
+                comm.scan(1024)?,
+                comm.alltoall(1024)?,
+                comm.barrier()?,
+                comm.allgather(1024)?,
+                comm.allreduce(1024)?,
+                comm.reduce_scatter(1024)?,
             ] {
                 assert!(out.time() > SimDuration::ZERO, "{}", machine.name());
                 assert!(out.time() >= out.min_time());
                 assert!(out.mean_time_us() <= out.time().as_micros_f64() + 1e-9);
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn t3d_barrier_is_microseconds_not_hundreds() {
+    fn t3d_barrier_is_microseconds_not_hundreds() -> Result<(), SimMpiError> {
         let t3d = Machine::t3d();
         let sp2 = Machine::sp2();
-        let tb = t3d.communicator(64).unwrap().barrier().unwrap().time();
-        let sb = sp2.communicator(64).unwrap().barrier().unwrap().time();
+        let tb = t3d.communicator(64)?.barrier()?.time();
+        let sb = sp2.communicator(64)?.barrier()?.time();
         assert!(tb.as_micros_f64() < 5.0, "T3D barrier {tb}");
         assert!(
             sb.as_micros_f64() > 30.0 * tb.as_micros_f64(),
             "paper: at least 30x faster; SP2 {sb} vs T3D {tb}"
         );
+        Ok(())
     }
 
     #[test]
-    fn alltoall_dominates_other_collectives() {
+    fn alltoall_dominates_other_collectives() -> Result<(), SimMpiError> {
         // Fig. 4: total exchange demands the longest time.
-        let comm = Machine::sp2().communicator(32).unwrap();
-        let a2a = comm.alltoall(1024).unwrap().time();
+        let comm = Machine::sp2().communicator(32)?;
+        let a2a = comm.alltoall(1024)?.time();
         for other in [
-            comm.bcast(Rank(0), 1024).unwrap().time(),
-            comm.gather(Rank(0), 1024).unwrap().time(),
-            comm.scan(1024).unwrap().time(),
+            comm.bcast(Rank(0), 1024)?.time(),
+            comm.gather(Rank(0), 1024)?.time(),
+            comm.scan(1024)?.time(),
         ] {
             assert!(a2a > other);
         }
+        Ok(())
     }
 
     #[test]
-    fn rank_validation() {
-        let comm = Machine::sp2().communicator(8).unwrap();
+    fn rank_validation() -> Result<(), SimMpiError> {
+        let comm = Machine::sp2().communicator(8)?;
         assert!(matches!(
             comm.bcast(Rank(8), 4),
             Err(SimMpiError::InvalidRank { rank: 8, size: 8 })
         ));
         assert!(comm.ping(Rank(0), Rank(9), 4).is_err());
+        Ok(())
     }
 
     #[test]
-    fn ping_scales_with_bytes() {
-        let comm = Machine::paragon().communicator(16).unwrap();
-        let small = comm.ping(Rank(0), Rank(15), 16).unwrap();
-        let large = comm.ping(Rank(0), Rank(15), 65_536).unwrap();
+    fn ping_scales_with_bytes() -> Result<(), SimMpiError> {
+        let comm = Machine::paragon().communicator(16)?;
+        let small = comm.ping(Rank(0), Rank(15), 16)?;
+        let large = comm.ping(Rank(0), Rank(15), 65_536)?;
         assert!(large > small * 10);
+        Ok(())
     }
 
     #[test]
-    fn self_ping_is_local() {
-        let comm = Machine::t3d().communicator(4).unwrap();
-        let t = comm.ping(Rank(1), Rank(1), 1024).unwrap();
-        let remote = comm.ping(Rank(1), Rank(2), 1024).unwrap();
+    fn self_ping_is_local() -> Result<(), SimMpiError> {
+        let comm = Machine::t3d().communicator(4)?;
+        let t = comm.ping(Rank(1), Rank(1), 1024)?;
+        let remote = comm.ping(Rank(1), Rank(2), 1024)?;
         assert!(t < remote);
+        Ok(())
     }
 
     #[test]
-    fn bigger_messages_take_longer() {
-        let comm = Machine::sp2().communicator(32).unwrap();
-        let t1 = comm.alltoall(64).unwrap().time();
-        let t2 = comm.alltoall(65_536).unwrap().time();
+    fn bigger_messages_take_longer() -> Result<(), SimMpiError> {
+        let comm = Machine::sp2().communicator(32)?;
+        let t1 = comm.alltoall(64)?.time();
+        let t2 = comm.alltoall(65_536)?.time();
         assert!(t2 > t1 * 5);
+        Ok(())
     }
 
     #[test]
-    fn subgroup_collectives_run() {
-        let comm = Machine::t3d().communicator(16).unwrap();
+    fn subgroup_collectives_run() -> Result<(), SimMpiError> {
+        let comm = Machine::t3d().communicator(16)?;
         // The even ranks form a group of 8 spread across the partition.
-        let group = comm.group(&[0, 2, 4, 6, 8, 10, 12, 14]).unwrap();
+        let group = comm.group(&[0, 2, 4, 6, 8, 10, 12, 14])?;
         assert_eq!(group.size(), 8);
-        let out = group.bcast(Rank(0), 4_096).unwrap();
+        let out = group.bcast(Rank(0), 4_096)?;
         assert!(out.time() > SimDuration::ZERO);
         assert_eq!(out.messages(), 7);
         // A group of a group resolves through both mappings.
-        let inner = group.group(&[0, 1, 2, 3]).unwrap();
+        let inner = group.group(&[0, 1, 2, 3])?;
         assert_eq!(inner.size(), 4);
-        assert!(inner.barrier().unwrap().time() > SimDuration::ZERO);
+        assert!(inner.barrier()?.time() > SimDuration::ZERO);
+        Ok(())
     }
 
     #[test]
-    fn subgroup_validation() {
-        let comm = Machine::sp2().communicator(8).unwrap();
+    fn subgroup_validation() -> Result<(), SimMpiError> {
+        let comm = Machine::sp2().communicator(8)?;
         assert!(comm.group(&[]).is_err(), "empty");
         assert!(comm.group(&[0, 0]).is_err(), "duplicate");
         assert!(comm.group(&[0, 9]).is_err(), "out of range");
+        Ok(())
     }
 
     #[test]
-    fn outcome_traffic_counts() {
-        let comm = Machine::t3d().communicator(8).unwrap();
-        let out = comm.alltoall(100).unwrap();
+    fn outcome_traffic_counts() -> Result<(), SimMpiError> {
+        let comm = Machine::t3d().communicator(8)?;
+        let out = comm.alltoall(100)?;
         assert_eq!(out.messages(), 8 * 7);
         assert_eq!(out.bytes(), 8 * 7 * 100);
+        Ok(())
     }
 }

@@ -43,6 +43,17 @@ pub enum SimMpiError {
     },
     /// `run_sequence` was called with no segments.
     EmptySequence,
+    /// A rank's tape did not run to completion even though validation
+    /// passed (or was skipped via `ExecConfig::skip_validation`): the
+    /// executor stalled waiting on a message that never arrived.
+    RankStalled {
+        /// The stalled rank.
+        rank: usize,
+        /// Tape position reached.
+        step: usize,
+        /// Tape length.
+        of: usize,
+    },
 }
 
 impl fmt::Display for SimMpiError {
@@ -69,6 +80,9 @@ impl fmt::Display for SimMpiError {
                 write!(f, "expected {expected} start times, got {got}")
             }
             SimMpiError::EmptySequence => write!(f, "sequence must contain a segment"),
+            SimMpiError::RankStalled { rank, step, of } => {
+                write!(f, "rank {rank} stalled at tape position {step}/{of}")
+            }
         }
     }
 }

@@ -428,14 +428,17 @@ fn execute_inner(
     engine.run(&mut world);
 
     // Every rank must have drained its tape; anything else is a deadlock
-    // that validation should have caught.
+    // that validation would have caught (reachable only via
+    // `skip_validation`, so it is a typed error, not a panic — the
+    // schedcheck property tests rely on observing it).
     for (r, rs) in world.ranks.iter().enumerate() {
-        assert!(
-            rs.pc == rs.tape.len(),
-            "rank {r} stalled at tape position {}/{} — executor invariant broken",
-            rs.pc,
-            rs.tape.len()
-        );
+        if rs.pc != rs.tape.len() {
+            return Err(SimMpiError::RankStalled {
+                rank: r,
+                step: rs.pc,
+                of: rs.tape.len(),
+            });
+        }
     }
 
     let link_loads = if cfg.record_trace || observe {
@@ -671,6 +674,44 @@ mod tests {
         );
         let e = execute(&sp2(), &[&s], &ExecConfig::default()).unwrap_err();
         assert!(matches!(e, SimMpiError::BadSchedule(_)));
+    }
+
+    #[test]
+    fn unvalidated_deadlock_returns_typed_stall() {
+        // With validation skipped, a deadlocking schedule must surface
+        // as a typed RankStalled error rather than a panic.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(
+            Rank(0),
+            Step::Recv {
+                from: Rank(1),
+                bytes: 4,
+            },
+        );
+        s.push(
+            Rank(1),
+            Step::Recv {
+                from: Rank(0),
+                bytes: 4,
+            },
+        );
+        let e = execute(
+            &sp2(),
+            &[&s],
+            &ExecConfig {
+                skip_validation: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap_err();
+        match &e {
+            SimMpiError::RankStalled { rank, step, of } => {
+                assert_eq!(*rank, 0);
+                assert!(step < of, "stall must be mid-tape: {step}/{of}");
+            }
+            other => panic!("expected RankStalled, got {other:?}"),
+        }
+        assert!(e.to_string().contains("stalled"));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! k-iteration loops, max-reduction over unsynchronized clocks) see the
 //! `harness` crate, which drives [`Communicator::run_sequence`].
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod comm;
 pub mod datatype;
 pub mod error;

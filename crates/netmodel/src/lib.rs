@@ -30,6 +30,9 @@
 //! assert!(t.delivered > SimTime::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod builder;
 pub mod class;
 pub mod machines;

@@ -26,6 +26,8 @@
 //! every layer of the stack can feed it without cycles. Times cross the
 //! boundary as integer nanoseconds or float microseconds.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod json;
 pub mod manifest;
 pub mod prof;

@@ -28,6 +28,8 @@
 //! assert!((ms - 2.86).abs() < 0.05);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod accuracy;
 pub mod breakdown;
 pub mod crossover;

@@ -11,6 +11,8 @@
 //! * [`timeline::Timeline`] — per-rank message timelines from executor
 //!   traces.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod chart;
 pub mod csv;
 pub mod gnuplot;

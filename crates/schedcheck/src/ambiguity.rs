@@ -1,0 +1,165 @@
+//! Match-ambiguity race detection.
+//!
+//! The executor matches messages per (sender, receiver) channel in
+//! *arrival* order and never rechecks payload sizes at delivery time, so
+//! the dynamic `Schedule::check` — which replays one canonical
+//! interleaving — silently assumes the network preserves posting order.
+//! That assumption is only safe when every pair of messages on a channel
+//! is ordered by happens-before: if two messages can be in flight
+//! concurrently, adaptive routing or contention could deliver them
+//! swapped and the receiver's `Recv`s would match the wrong payloads.
+//!
+//! The static criterion: for sends `i < j` on one channel with
+//! `bytes_i != bytes_j`, the match is ambiguous unless
+//! `recv_i happens-before send_j` — the receiver must have consumed
+//! message `i` before message `j` can exist. Equal-size pairs are not
+//! flagged: at the schedule IR level such messages are indistinguishable
+//! and a swap is semantically harmless.
+
+use crate::graph::HbGraph;
+use collectives::ScheduleError;
+
+/// Scans every channel for concurrently-in-flight messages of different
+/// sizes. Call only after `Schedule::check` has passed (the graph's FIFO
+/// matching is meaningless on a broken schedule).
+pub fn find_ambiguities(g: &HbGraph) -> Vec<ScheduleError> {
+    let mut findings = Vec::new();
+    for ch in g.channels() {
+        let n = ch.sends.len().min(ch.recvs.len());
+        for i in 0..n {
+            let (recv_i, _) = ch.recvs[i];
+            let (_, bytes_i) = ch.sends[i];
+            for &(send_j, bytes_j) in &ch.sends[i + 1..n] {
+                if bytes_i != bytes_j && !g.reaches(recv_i, send_j) {
+                    findings.push(ScheduleError::AmbiguousMatch {
+                        from: ch.from,
+                        to: ch.to,
+                        earlier: bytes_i,
+                        later: bytes_j,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::{Rank, Schedule, Step};
+    use netmodel::OpClass;
+
+    fn send(to: usize, bytes: u32) -> Step {
+        Step::Send {
+            to: Rank(to),
+            bytes,
+        }
+    }
+    fn recv(from: usize, bytes: u32) -> Step {
+        Step::Recv {
+            from: Rank(from),
+            bytes,
+        }
+    }
+
+    fn scan(s: &Schedule) -> Vec<ScheduleError> {
+        assert!(s.check().is_ok(), "fixture must pass the dynamic check");
+        find_ambiguities(&HbGraph::build(s))
+    }
+
+    #[test]
+    fn back_to_back_different_sizes_are_ambiguous() {
+        // Both messages in flight at once; FIFO check passes but the
+        // match depends on delivery order.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), send(1, 16));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), recv(0, 16));
+        assert_eq!(
+            scan(&s),
+            vec![ScheduleError::AmbiguousMatch {
+                from: Rank(0),
+                to: Rank(1),
+                earlier: 8,
+                later: 16,
+            }]
+        );
+    }
+
+    #[test]
+    fn acknowledged_resend_is_unambiguous() {
+        // The second send is posted only after an ack proves the first
+        // was received: recv_0 happens-before send_1.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), recv(1, 1)); // ack
+        s.push(Rank(0), send(1, 16));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), send(0, 1)); // ack
+        s.push(Rank(1), recv(0, 16));
+        assert!(scan(&s).is_empty());
+    }
+
+    #[test]
+    fn equal_sizes_not_flagged() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), recv(0, 8));
+        assert!(scan(&s).is_empty());
+    }
+
+    #[test]
+    fn barrier_separation_is_unambiguous() {
+        // A barrier round between the two sends orders recv_0 before
+        // send_1 across ranks.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), Step::HwBarrier);
+        s.push(Rank(0), send(1, 16));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), Step::HwBarrier);
+        s.push(Rank(1), recv(0, 16));
+        assert!(scan(&s).is_empty());
+    }
+
+    #[test]
+    fn nonadjacent_pair_detected() {
+        // Sizes 8, 8, 16: the (0, 2) and (1, 2) pairs race even though
+        // the adjacent (0, 1) pair is same-size.
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        for b in [8, 8, 16] {
+            s.push(Rank(0), send(1, b));
+        }
+        for b in [8, 8, 16] {
+            s.push(Rank(1), recv(0, b));
+        }
+        assert_eq!(scan(&s).len(), 2);
+    }
+
+    #[test]
+    fn pipelined_broadcast_tail_segment_races() {
+        // A non-multiple message size gives the pipelined chain a short
+        // final segment that can overtake a full one — the canonical
+        // in-repo example of a hazard the dynamic check cannot see.
+        let s = collectives::build(
+            collectives::Algorithm::Pipelined,
+            OpClass::Bcast,
+            4,
+            Rank(0),
+            10_000,
+        )
+        .expect("pipelined bcast builds");
+        assert!(s.check().is_ok(), "dynamic check is blind to the race");
+        let found = find_ambiguities(&HbGraph::build(&s));
+        assert!(
+            found
+                .iter()
+                .any(|e| matches!(e, ScheduleError::AmbiguousMatch { .. })),
+            "tail segment must be flagged"
+        );
+    }
+}

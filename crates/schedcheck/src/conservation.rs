@@ -1,0 +1,330 @@
+//! Conservation lints: message volume and data-flow coverage.
+//!
+//! §3 of the paper defines the aggregated volume `f(m, p)` each
+//! collective must move — `m(p−1)` for the one-to-all / all-to-one
+//! operations and scan, `m·p(p−1)` for total exchange — and Table 3's
+//! bandwidth numbers are normalized by it. A schedule that moves less
+//! than `f(m, p)` cannot be correct; one that moves a different amount
+//! than its algorithm family predicts was miscompiled. Coverage is the
+//! semantic half: volume can balance while a rank's contribution never
+//! reaches the root (e.g. a dropped binomial subtree), so we also check
+//! the data-influence closure against the operation's required relation.
+
+use collectives::{Algorithm, Rank, Schedule, Step};
+use netmodel::OpClass;
+
+/// What an algorithm family predicts for a schedule's total sent bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeBound {
+    /// The family determines the byte count exactly.
+    Exact(u64),
+    /// The family moves at least this much (redistribution algorithms
+    /// like binomial scatter forward whole subtree blocks and legally
+    /// exceed the floor).
+    AtLeast(u64),
+}
+
+impl VolumeBound {
+    /// Whether `actual` satisfies the bound.
+    pub fn admits(self, actual: u64) -> bool {
+        match self {
+            VolumeBound::Exact(v) => actual == v,
+            VolumeBound::AtLeast(v) => actual >= v,
+        }
+    }
+
+    /// The bound's byte value.
+    pub fn bytes(self) -> u64 {
+        match self {
+            VolumeBound::Exact(v) | VolumeBound::AtLeast(v) => v,
+        }
+    }
+}
+
+impl std::fmt::Display for VolumeBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeBound::Exact(v) => write!(f, "exactly {v}"),
+            VolumeBound::AtLeast(v) => write!(f, "at least {v}"),
+        }
+    }
+}
+
+/// The total sent bytes the `(algorithm, class)` pair predicts for `p`
+/// ranks and an `m`-byte payload. Every bound is ≥ the paper's
+/// `f(m, p)` floor ([`OpClass::aggregated_bytes`]), so admitting a
+/// schedule also certifies the floor.
+pub fn expected_volume(algorithm: Algorithm, class: OpClass, p: u64, m: u64) -> VolumeBound {
+    let f = class.aggregated_bytes(m, p);
+    match (algorithm, class) {
+        // Barriers move tokens, not payload: zero bytes by definition
+        // (dissemination/tree/pairwise send 0-byte messages; hardware
+        // sends none).
+        (_, OpClass::Barrier) => VolumeBound::Exact(0),
+        // One full copy of the payload crosses each tree edge / root
+        // loop iteration: exactly m(p−1).
+        (Algorithm::Binomial, OpClass::Bcast | OpClass::Reduce)
+        | (
+            Algorithm::Linear,
+            OpClass::Bcast | OpClass::Reduce | OpClass::Scatter | OpClass::Gather | OpClass::Scan,
+        ) => VolumeBound::Exact(f),
+        // Recursive-doubling scan round k sends p − 2^k messages of m
+        // bytes each.
+        (Algorithm::RecursiveDoubling, OpClass::Scan) => {
+            let mut v = 0u64;
+            let mut mask = 1u64;
+            while mask < p {
+                v += p - mask;
+                mask <<= 1;
+            }
+            VolumeBound::Exact(m * v)
+        }
+        // Direct total exchange: every ordered pair exchanges one
+        // m-byte block, whether scheduled pairwise-XOR or ring-shifted.
+        (Algorithm::Pairwise | Algorithm::Ring, OpClass::Alltoall) => VolumeBound::Exact(f),
+        // Block-forwarding families (binomial scatter/gather, Bruck,
+        // scatter-allgather, pipelined) resend combined blocks; they
+        // must still meet the paper floor.
+        _ => VolumeBound::AtLeast(f),
+    }
+}
+
+/// Coverage gaps: `(at, missing)` pairs where rank `at` was required to
+/// be influenced by rank `missing`'s initial data but is not.
+///
+/// Required relations per class: broadcast/scatter — the root reaches
+/// everyone; gather/reduce — everyone reaches the root; inclusive scan —
+/// ranks `0..=r` reach rank `r`; total exchange and software barriers —
+/// the complete relation. A hardware barrier exchanges no messages, so
+/// it is instead required to place a [`Step::HwBarrier`] on every rank.
+///
+/// Returns an empty list when the schedule deadlocks (the structural
+/// check reports that separately) or for classes with no requirement.
+pub fn coverage_gaps(s: &Schedule, root: Rank) -> Vec<(Rank, Rank)> {
+    let p = s.ranks();
+    if s.class() == OpClass::Barrier && barrier_is_hardware(s) {
+        return (0..p)
+            .filter(|&r| {
+                !s.program(Rank(r))
+                    .iter()
+                    .any(|st| matches!(st, Step::HwBarrier))
+            })
+            .map(|r| (Rank(r), Rank(r)))
+            .collect();
+    }
+    let Some(inf) = s.influence() else {
+        return Vec::new();
+    };
+    let mut gaps = Vec::new();
+    let mut require = |at: usize, from: usize| {
+        if !inf[at][from] {
+            gaps.push((Rank(at), Rank(from)));
+        }
+    };
+    match s.class() {
+        OpClass::Bcast | OpClass::Scatter => {
+            for r in 0..p {
+                require(r, root.0);
+            }
+        }
+        OpClass::Gather | OpClass::Reduce => {
+            for r in 0..p {
+                require(root.0, r);
+            }
+        }
+        OpClass::Scan => {
+            for r in 0..p {
+                for i in 0..=r {
+                    require(r, i);
+                }
+            }
+        }
+        OpClass::Alltoall | OpClass::Barrier => {
+            for r in 0..p {
+                for i in 0..p {
+                    require(r, i);
+                }
+            }
+        }
+        OpClass::PointToPoint => {}
+    }
+    gaps
+}
+
+/// A barrier schedule counts as hardware when it sends no messages and
+/// at least one rank enters the barrier network.
+fn barrier_is_hardware(s: &Schedule) -> bool {
+    let mut any_hw = false;
+    for (_, prog) in s.iter() {
+        for step in prog {
+            match step {
+                Step::Send { .. } | Step::Recv { .. } => return false,
+                Step::HwBarrier => any_hw = true,
+                Step::Compute { .. } => {}
+            }
+        }
+    }
+    any_hw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::build;
+
+    #[test]
+    fn exact_families_match_their_generators() {
+        for p in [2u64, 3, 4, 8, 17, 32] {
+            let m = 1_024u64;
+            for (alg, class) in [
+                (Algorithm::Binomial, OpClass::Bcast),
+                (Algorithm::Binomial, OpClass::Reduce),
+                (Algorithm::Linear, OpClass::Scatter),
+                (Algorithm::Linear, OpClass::Gather),
+                (Algorithm::Linear, OpClass::Scan),
+                (Algorithm::RecursiveDoubling, OpClass::Scan),
+                (Algorithm::Pairwise, OpClass::Alltoall),
+                (Algorithm::Ring, OpClass::Alltoall),
+                (Algorithm::Dissemination, OpClass::Barrier),
+            ] {
+                let s = build(alg, class, p as usize, Rank(0), m as u32)
+                    .unwrap_or_else(|e| panic!("{alg:?}/{class}/p={p}: {e}"));
+                let bound = expected_volume(alg, class, p, m);
+                assert!(
+                    bound.admits(s.total_bytes()),
+                    "{alg:?}/{class}/p={p}: bound {bound}, actual {}",
+                    s.total_bytes()
+                );
+                assert!(
+                    bound.bytes() >= class.aggregated_bytes(m, p),
+                    "{alg:?}/{class}: bound below the paper floor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_families_meet_the_floor() {
+        for (alg, class) in [
+            (Algorithm::Binomial, OpClass::Scatter),
+            (Algorithm::Binomial, OpClass::Gather),
+            (Algorithm::Bruck, OpClass::Alltoall),
+            (Algorithm::ScatterAllgather, OpClass::Bcast),
+            (Algorithm::Pipelined, OpClass::Bcast),
+        ] {
+            let p = 16u64;
+            let m = 8_192u64;
+            let s = build(alg, class, p as usize, Rank(0), m as u32)
+                .unwrap_or_else(|e| panic!("{alg:?}/{class}: {e}"));
+            let bound = expected_volume(alg, class, p, m);
+            assert!(matches!(bound, VolumeBound::AtLeast(_)), "{alg:?}/{class}");
+            assert!(
+                bound.admits(s.total_bytes()),
+                "{alg:?}/{class}: bound {bound}, actual {}",
+                s.total_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn volume_mismatch_is_rejected() {
+        let bound = expected_volume(Algorithm::Binomial, OpClass::Bcast, 8, 64);
+        assert_eq!(bound, VolumeBound::Exact(64 * 7));
+        assert!(!bound.admits(64 * 6), "a dropped edge must not admit");
+        assert!(!bound.admits(64 * 8), "an extra edge must not admit");
+    }
+
+    #[test]
+    fn dropped_subtree_is_a_coverage_gap() {
+        // A bcast that never sends to rank 2: volume is off AND rank 2
+        // is uncovered.
+        let mut s = Schedule::new(OpClass::Bcast, 3);
+        s.push(
+            Rank(0),
+            Step::Send {
+                to: Rank(1),
+                bytes: 64,
+            },
+        );
+        s.push(
+            Rank(1),
+            Step::Recv {
+                from: Rank(0),
+                bytes: 64,
+            },
+        );
+        let gaps = coverage_gaps(&s, Rank(0));
+        assert_eq!(gaps, vec![(Rank(2), Rank(0))]);
+    }
+
+    #[test]
+    fn scan_requires_all_prefixes() {
+        // Chain 0 -> 1 -> 2 covers the scan relation; reversing the
+        // chain direction leaves every prefix uncovered.
+        let mut ok = Schedule::new(OpClass::Scan, 3);
+        for r in 0..2usize {
+            ok.push(
+                Rank(r),
+                Step::Send {
+                    to: Rank(r + 1),
+                    bytes: 8,
+                },
+            );
+            ok.push(
+                Rank(r + 1),
+                Step::Recv {
+                    from: Rank(r),
+                    bytes: 8,
+                },
+            );
+        }
+        assert!(coverage_gaps(&ok, Rank(0)).is_empty());
+
+        let mut bad = Schedule::new(OpClass::Scan, 3);
+        for r in 0..2usize {
+            bad.push(
+                Rank(r + 1),
+                Step::Send {
+                    to: Rank(r),
+                    bytes: 8,
+                },
+            );
+            bad.push(
+                Rank(r),
+                Step::Recv {
+                    from: Rank(r + 1),
+                    bytes: 8,
+                },
+            );
+        }
+        let gaps = coverage_gaps(&bad, Rank(0));
+        assert!(gaps.contains(&(Rank(1), Rank(0))));
+        assert!(gaps.contains(&(Rank(2), Rank(0))));
+    }
+
+    #[test]
+    fn hardware_barrier_requires_every_rank_in_the_net() {
+        let mut s = Schedule::new(OpClass::Barrier, 3);
+        s.push(Rank(0), Step::HwBarrier);
+        s.push(Rank(1), Step::HwBarrier);
+        // Rank 2 never enters.
+        assert_eq!(coverage_gaps(&s, Rank(0)), vec![(Rank(2), Rank(2))]);
+        s.push(Rank(2), Step::HwBarrier);
+        assert!(coverage_gaps(&s, Rank(0)).is_empty());
+    }
+
+    #[test]
+    fn vendor_generators_have_no_gaps() {
+        for class in OpClass::COLLECTIVES {
+            for p in [2, 3, 8, 17, 32] {
+                let alg = collectives::generic_algorithm(class);
+                let s = build(alg, class, p, Rank(0), 256)
+                    .unwrap_or_else(|e| panic!("{class}/p={p}: {e}"));
+                assert!(
+                    coverage_gaps(&s, Rank(0)).is_empty(),
+                    "{class}/p={p} has coverage gaps"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Happens-before graph construction.
+//!
+//! Events are the individual [`Step`]s of a schedule, numbered densely:
+//! rank `r`'s step `i` gets id `offset[r] + i`. Three edge families make
+//! up the happens-before relation of the executor's semantics:
+//!
+//! 1. **Program order** — each rank's steps are totally ordered.
+//! 2. **Message edges** — sends are eager and receives block, with FIFO
+//!    matching per (sender, receiver) channel; the `k`-th send on a
+//!    channel therefore matches the `k`-th receive, which is statically
+//!    computable without running the schedule.
+//! 3. **Barrier rounds** — the `k`-th [`Step::HwBarrier`] of every rank
+//!    forms one synchronization round: no rank leaves the round until
+//!    every rank has entered it, so each entry happens-before every other
+//!    rank's first post-round step.
+//!
+//! The graph is a DAG whenever [`Schedule::check`] passes; callers are
+//! expected to check first (the analyses in this crate do).
+
+use collectives::{Rank, Schedule, Step};
+use std::collections::{HashMap, VecDeque};
+
+/// All messages of one (sender, receiver) pair, in FIFO order.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Sending rank.
+    pub from: Rank,
+    /// Receiving rank.
+    pub to: Rank,
+    /// Send events in posting order: `(event id, bytes)`.
+    pub sends: Vec<(usize, u32)>,
+    /// Recv events in posting order: `(event id, bytes)`.
+    pub recvs: Vec<(usize, u32)>,
+}
+
+/// The happens-before DAG of a schedule.
+#[derive(Debug, Clone)]
+pub struct HbGraph {
+    /// `offsets[r]` is the event id of rank `r`'s first step;
+    /// `offsets[p]` is the total event count.
+    offsets: Vec<usize>,
+    succ: Vec<Vec<usize>>,
+    channels: Vec<Channel>,
+}
+
+impl HbGraph {
+    /// Builds the graph from per-rank programs. Rank fields must be in
+    /// range (guaranteed after [`Schedule::check`]).
+    pub fn build(s: &Schedule) -> Self {
+        let p = s.ranks();
+        let mut offsets = Vec::with_capacity(p + 1);
+        let mut total = 0usize;
+        for (_, prog) in s.iter() {
+            offsets.push(total);
+            total += prog.len();
+        }
+        offsets.push(total);
+
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // Program order.
+        for (r, prog) in s.iter() {
+            let base = offsets[r.0];
+            for i in 1..prog.len() {
+                succ[base + i - 1].push(base + i);
+            }
+        }
+        // Channel collection (FIFO per pair) and barrier rounds.
+        // Per channel: (send events, recv events), each `(event, bytes)`.
+        type Endpoints = (Vec<(usize, u32)>, Vec<(usize, u32)>);
+        let mut chan: HashMap<(usize, usize), Endpoints> = HashMap::new();
+        // `rounds[k]` holds the (event, rank) of each rank's k-th barrier.
+        let mut rounds: Vec<Vec<(usize, usize)>> = Vec::new();
+        for (r, prog) in s.iter() {
+            let base = offsets[r.0];
+            let mut entered = 0usize;
+            for (i, step) in prog.iter().enumerate() {
+                match *step {
+                    Step::Send { to, bytes } => {
+                        chan.entry((r.0, to.0))
+                            .or_default()
+                            .0
+                            .push((base + i, bytes));
+                    }
+                    Step::Recv { from, bytes } => {
+                        chan.entry((from.0, r.0))
+                            .or_default()
+                            .1
+                            .push((base + i, bytes));
+                    }
+                    Step::HwBarrier => {
+                        if rounds.len() <= entered {
+                            rounds.resize(entered + 1, Vec::new());
+                        }
+                        rounds[entered].push((base + i, r.0));
+                        entered += 1;
+                    }
+                    Step::Compute { .. } => {}
+                }
+            }
+        }
+        // Message edges: k-th send matches k-th recv on each channel.
+        let mut keys: Vec<(usize, usize)> = chan.keys().copied().collect();
+        keys.sort_unstable();
+        let mut channels = Vec::with_capacity(keys.len());
+        for key in keys {
+            let (sends, recvs) = chan.remove(&key).unwrap_or_default();
+            for (&(se, _), &(re, _)) in sends.iter().zip(recvs.iter()) {
+                succ[se].push(re);
+            }
+            channels.push(Channel {
+                from: Rank(key.0),
+                to: Rank(key.1),
+                sends,
+                recvs,
+            });
+        }
+        // Barrier edges: entering round k happens-before every other
+        // rank's step *after* its own round-k entry.
+        for round in &rounds {
+            for &(e, _) in round {
+                for &(f, fr) in round {
+                    if e != f && f + 1 < offsets[fr + 1] {
+                        succ[e].push(f + 1);
+                    }
+                }
+            }
+        }
+        HbGraph {
+            offsets,
+            succ,
+            channels,
+        }
+    }
+
+    /// Total number of events.
+    pub fn events(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// The event id of `rank`'s step `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn event(&self, rank: Rank, i: usize) -> usize {
+        self.offsets[rank.0] + i
+    }
+
+    /// All channels, sorted by `(from, to)`.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Whether `from` happens-before (or is) `to`: BFS over the DAG.
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.events()];
+        let mut queue = VecDeque::from([from]);
+        seen[from] = true;
+        while let Some(e) = queue.pop_front() {
+            for &n in &self.succ[e] {
+                if n == to {
+                    return true;
+                }
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::OpClass;
+
+    fn send(to: usize, bytes: u32) -> Step {
+        Step::Send {
+            to: Rank(to),
+            bytes,
+        }
+    }
+    fn recv(from: usize, bytes: u32) -> Step {
+        Step::Recv {
+            from: Rank(from),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn message_edge_orders_send_before_recv() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        let g = HbGraph::build(&s);
+        assert!(g.reaches(g.event(Rank(0), 0), g.event(Rank(1), 0)));
+        assert!(!g.reaches(g.event(Rank(1), 0), g.event(Rank(0), 0)));
+    }
+
+    #[test]
+    fn program_order_is_transitive() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), recv(0, 8));
+        let g = HbGraph::build(&s);
+        assert!(g.reaches(g.event(Rank(0), 0), g.event(Rank(1), 2)));
+    }
+
+    #[test]
+    fn concurrent_events_unordered() {
+        // Two independent sends into rank 2: neither orders the other.
+        let mut s = Schedule::new(OpClass::PointToPoint, 3);
+        s.push(Rank(0), send(2, 8));
+        s.push(Rank(1), send(2, 8));
+        s.push(Rank(2), recv(0, 8));
+        s.push(Rank(2), recv(1, 8));
+        let g = HbGraph::build(&s);
+        assert!(!g.reaches(g.event(Rank(0), 0), g.event(Rank(1), 0)));
+        assert!(!g.reaches(g.event(Rank(1), 0), g.event(Rank(0), 0)));
+    }
+
+    #[test]
+    fn barrier_round_synchronizes_all_ranks() {
+        let mut s = Schedule::new(OpClass::Barrier, 3);
+        for r in 0..3 {
+            s.push(Rank(r), Step::HwBarrier);
+            s.push(Rank(r), Step::Compute { bytes: 4 });
+        }
+        let g = HbGraph::build(&s);
+        // Rank 0's barrier entry orders every rank's post-barrier step.
+        for r in 0..3 {
+            assert!(
+                g.reaches(g.event(Rank(0), 0), g.event(Rank(r), 1)),
+                "barrier entry must precede rank {r}'s exit"
+            );
+        }
+        // But entries themselves stay concurrent.
+        assert!(!g.reaches(g.event(Rank(0), 0), g.event(Rank(1), 0)));
+    }
+
+    #[test]
+    fn channels_report_fifo_pairs() {
+        let mut s = Schedule::new(OpClass::PointToPoint, 2);
+        s.push(Rank(0), send(1, 8));
+        s.push(Rank(0), send(1, 16));
+        s.push(Rank(1), recv(0, 8));
+        s.push(Rank(1), recv(0, 16));
+        let g = HbGraph::build(&s);
+        assert_eq!(g.channels().len(), 1);
+        let ch = &g.channels()[0];
+        assert_eq!((ch.from, ch.to), (Rank(0), Rank(1)));
+        assert_eq!(ch.sends.len(), 2);
+        assert_eq!(ch.sends[1].1, 16);
+        assert_eq!(ch.recvs[0].1, 8);
+    }
+}

@@ -22,6 +22,8 @@
 //! # Ok::<(), mpisim::SimMpiError>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cube;
 pub mod pipeline;
 pub mod stages;

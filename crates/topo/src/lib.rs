@@ -31,6 +31,8 @@
 //! assert_eq!(route.hops(), 6); // 3 hops in X then 3 in Y
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod crossbar;
 pub mod fattree;
 pub mod graph;

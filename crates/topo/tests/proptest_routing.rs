@@ -3,6 +3,8 @@
 //! distance, and stay within the diameter. Runs on the in-repo
 //! deterministic harness ([`desim::check`]).
 
+#![allow(clippy::unwrap_used)]
+
 use desim::check::forall;
 use topo::{assert_route_connected, Graph, Mesh2d, NodeId, Omega, Topology, Torus3d};
 

@@ -2,6 +2,8 @@
 //! point-to-point communication patterns running end to end on the
 //! machine models, with scaling analysis on top.
 
+#![allow(clippy::unwrap_used)]
+
 use collectives::patterns;
 use mpi_collectives_eval::prelude::*;
 use perfmodel::ScalingCurve;

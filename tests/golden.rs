@@ -8,6 +8,8 @@
 //! purpose** — update them alongside, and re-check `bench --bin
 //! calibrate` before doing so.
 
+#![allow(clippy::unwrap_used)]
+
 use harness::{measure, Protocol};
 use mpi_collectives_eval::prelude::*;
 

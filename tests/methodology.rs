@@ -2,6 +2,8 @@
 //! the executor: warm-up behaviour, skew robustness, aggregation
 //! semantics, sweep/dataset/fit plumbing on real simulated data.
 
+#![allow(clippy::unwrap_used)]
+
 use harness::{measure, Dataset, Protocol, SweepBuilder};
 use mpi_collectives_eval::prelude::*;
 use perfmodel::{breakdown, fit_surface};

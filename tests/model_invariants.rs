@@ -3,6 +3,8 @@
 //! calibration — violations indicate executor or model bugs rather than
 //! miscalibrated constants.
 
+#![allow(clippy::unwrap_used)]
+
 use harness::{measure, Protocol};
 use mpi_collectives_eval::prelude::*;
 use mpisim::Placement;

@@ -4,6 +4,8 @@
 //! respect basic physical invariants. Runs on the in-repo deterministic
 //! harness ([`desim::check`]).
 
+#![allow(clippy::unwrap_used)]
+
 use collectives::{build, Algorithm, Rank};
 use desim::check::forall;
 use mpisim::{Machine, OpClass};
