@@ -154,11 +154,58 @@ fn event_queues() {
     }
 }
 
+fn typed_dispatch() {
+    use desim::{Engine, EventWorld, Scheduler, SimDuration, SimTime, TypedEvent};
+    println!("-- event_dispatch --");
+
+    // Same dense self-rescheduling population as `event_queues`, but on
+    // the typed-event path: no per-event allocation, dispatch by match.
+    struct Counter {
+        fired: u64,
+        stride: u64,
+    }
+    impl EventWorld for Counter {
+        fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+            if let TypedEvent::Timer { id } = ev {
+                self.fired += 1;
+                if id % 1000 > 0 {
+                    let stride = self.stride + id / 1000;
+                    s.post_in(
+                        SimDuration::from_nanos(stride),
+                        TypedEvent::Timer { id: id - 1 },
+                    );
+                }
+            }
+        }
+    }
+
+    bench("typed_timer_chain", 20, 50, || {
+        let mut engine = Engine::<Counter>::new();
+        // 64 actors x 100 steps; actor index rides in the id's high part
+        // so each chain keeps its own stride, mirroring the closure bench.
+        for actor in 0..64u64 {
+            engine.post_at(
+                SimTime::from_nanos(actor * 17),
+                TypedEvent::Timer {
+                    id: actor * 1000 + 100,
+                },
+            );
+        }
+        let mut world = Counter {
+            fired: 0,
+            stride: 97,
+        };
+        engine.run(&mut world);
+        world.fired
+    });
+}
+
 fn main() {
     // `cargo bench` passes flags like `--bench`; none affect this harness.
     collectives();
     machines();
     routing();
     event_queues();
+    typed_dispatch();
     measurement_pipeline();
 }

@@ -1,0 +1,31 @@
+//! Hot-path timing harness: min-of-N wall time for the three alltoall
+//! perfgate points (the suite's dominant cost). Run it interleaved
+//! against a build of another revision for a drift-free A/B:
+//!
+//! ```text
+//! cargo build --release --example a2a
+//! ./target/release/examples/a2a [rounds]
+//! ```
+
+use harness::{measure, Protocol};
+use mpisim::{Machine, OpClass};
+use std::time::Instant;
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    for machine in Machine::all() {
+        let comm = machine.communicator(64).expect("communicator");
+        let mut best = f64::MAX;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let m = measure(&comm, OpClass::Alltoall, 4096, &Protocol::quick()).expect("measure");
+            let w = t0.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(m);
+            best = best.min(w);
+        }
+        println!("{:<16} best {:>10.1} us", machine.name(), best);
+    }
+}

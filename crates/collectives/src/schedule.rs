@@ -205,6 +205,22 @@ impl Schedule {
             .map(|(i, p)| (Rank(i), p.as_slice()))
     }
 
+    /// Number of steps in `rank`'s program — the executor's stepping
+    /// hook for pre-sizing its per-rank event tape (each step becomes
+    /// one tape entry addressed by `TypedEvent::ScheduleStep`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn steps_of(&self, rank: Rank) -> usize {
+        self.programs[rank.0].len()
+    }
+
+    /// Total number of steps across all rank programs.
+    pub fn total_steps(&self) -> usize {
+        self.programs.iter().map(Vec::len).sum()
+    }
+
     /// Total number of `Send` steps.
     pub fn total_messages(&self) -> usize {
         self.programs
@@ -498,6 +514,9 @@ mod tests {
         assert_eq!(s.total_messages(), 2);
         assert_eq!(s.total_bytes(), 16);
         assert_eq!(s.message_depth(), 2, "reply depends on request");
+        assert_eq!(s.steps_of(Rank(0)), 2);
+        assert_eq!(s.steps_of(Rank(1)), 2);
+        assert_eq!(s.total_steps(), 4);
     }
 
     #[test]

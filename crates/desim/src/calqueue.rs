@@ -36,6 +36,11 @@ pub struct CalendarQueue<T> {
     buckets: Vec<Vec<(Key, T)>>,
     /// Width of one day in nanoseconds (power-of-two for cheap math).
     width: u64,
+    /// `width.trailing_zeros()` — `t >> shift` is the day number.
+    shift: u32,
+    /// `buckets.len() - 1` — bucket counts are powers of two, so the
+    /// modulo in `bucket_of` is a single mask.
+    mask: usize,
     /// Number of stored events.
     len: usize,
     /// Lower bound on the next key to dequeue (last popped time).
@@ -59,6 +64,8 @@ impl<T> CalendarQueue<T> {
         CalendarQueue {
             buckets: (0..Self::INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
             width: Self::INITIAL_WIDTH,
+            shift: Self::INITIAL_WIDTH.trailing_zeros(),
+            mask: Self::INITIAL_BUCKETS - 1,
             len: 0,
             now: 0,
             resizes: 0,
@@ -95,7 +102,10 @@ impl<T> CalendarQueue<T> {
     }
 
     fn bucket_of(&self, t: u64) -> usize {
-        ((t / self.width) as usize) % self.buckets.len()
+        // Both operands are powers of two: the divide is a shift, the
+        // modulo a mask. This runs once per push and O(days walked) per
+        // pop, so the strength reduction is visible at engine scale.
+        ((t >> self.shift) as usize) & self.mask
     }
 
     /// Inserts an event.
@@ -182,6 +192,7 @@ impl<T> CalendarQueue<T> {
     /// a power of two).
     fn resize(&mut self, nb: usize) {
         let nb = nb.max(Self::INITIAL_BUCKETS);
+        debug_assert!(nb.is_power_of_two(), "bucket counts double/halve from 16");
         self.resizes += 1;
         // Sample spacing: (max - min) / len, rounded to a power of two.
         let mut min_t = u64::MAX;
@@ -203,6 +214,8 @@ impl<T> CalendarQueue<T> {
             entries.append(bucket);
         }
         self.width = width;
+        self.shift = width.trailing_zeros();
+        self.mask = nb - 1;
         self.buckets = (0..nb).map(|_| Vec::new()).collect();
         for (k, v) in entries {
             let idx = self.bucket_of(k.0);

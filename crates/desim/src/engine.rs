@@ -1,24 +1,28 @@
 //! The discrete-event engine.
 //!
 //! [`Engine`] owns a time-ordered event queue and a monotonically advancing
-//! clock. Events are boxed closures over a user-supplied *world* type `W`
-//! (the mutable simulation state); firing an event may schedule further
-//! events. Ties in firing time break by insertion order, which makes every
-//! run deterministic.
+//! clock. Events are [`Event`]s over a user-supplied *world* type `W` (the
+//! mutable simulation state): typed plain-data payloads stored inline in
+//! the queue and dispatched through the world's
+//! [`EventWorld::dispatch`](crate::EventWorld::dispatch) `match` — the hot
+//! path, zero allocations — or boxed closures for the rare dynamic case.
+//! Firing an event may schedule further events. Ties in firing time break
+//! by insertion order, which makes every run deterministic.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::calqueue::CalendarQueue;
+use crate::event::{Event, EventStats, EventWorld, TypedEvent};
 use crate::time::{SimDuration, SimTime};
 
-/// An event callback: receives the scheduling handle and the world.
+/// A dynamic event callback: receives the scheduling handle and the world.
 pub type EventFn<W> = Box<dyn FnOnce(&mut Scheduler<W>, &mut W)>;
 
 struct Scheduled<W> {
     at: SimTime,
     seq: u64,
-    run: EventFn<W>,
+    ev: Event<W>,
 }
 
 impl<W> PartialEq for Scheduled<W> {
@@ -39,15 +43,22 @@ impl<W> Ord for Scheduled<W> {
     }
 }
 
-/// The part of the engine visible to a firing event: the clock and the
-/// ability to schedule more events.
+/// The part of the engine visible to a firing event: the clock, the
+/// ability to schedule more events, and the continuation slab.
 ///
-/// Split from [`Engine`] so event closures can schedule without aliasing
+/// Split from [`Engine`] so firing events can schedule without aliasing
 /// the queue being drained.
 pub struct Scheduler<W> {
     now: SimTime,
     next_seq: u64,
     pending: Vec<Scheduled<W>>,
+    /// Parked dynamic continuations, addressed by
+    /// [`TypedEvent::Continuation`] slot. Freed slots are recycled
+    /// through `slab_free` so steady-state continuation traffic reuses
+    /// capacity instead of growing the slab.
+    slab: Vec<Option<EventFn<W>>>,
+    slab_free: Vec<u32>,
+    stats: EventStats,
 }
 
 impl<W> Scheduler<W> {
@@ -56,18 +67,90 @@ impl<W> Scheduler<W> {
         self.now
     }
 
-    /// Schedules `event` to fire after `delay`.
+    /// Posts a typed event to fire after `delay` — the allocation-free
+    /// hot path. The event is stored inline in the queue and dispatched
+    /// through [`EventWorld::dispatch`].
+    pub fn post_in(&mut self, delay: SimDuration, ev: TypedEvent) {
+        let at = self.now + delay;
+        self.post_at(at, ev);
+    }
+
+    /// Posts a typed event at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — simulated time never rewinds.
+    pub fn post_at(&mut self, at: SimTime, ev: TypedEvent) {
+        self.stats.typed += 1;
+        self.push(at, Event::Typed(ev));
+    }
+
+    /// Schedules a boxed-closure `event` to fire after `delay` (the
+    /// legacy dynamic path — one heap allocation per event; prefer
+    /// [`Scheduler::post_in`] for known event kinds).
     pub fn schedule_in(&mut self, delay: SimDuration, event: EventFn<W>) {
         let at = self.now + delay;
         self.schedule_at(at, event);
     }
 
-    /// Schedules `event` at the absolute instant `at`.
+    /// Schedules a boxed-closure `event` at the absolute instant `at`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past — simulated time never rewinds.
     pub fn schedule_at(&mut self, at: SimTime, event: EventFn<W>) {
+        self.stats.dynamic += 1;
+        self.push(at, Event::Dyn(event));
+    }
+
+    /// Defers a dynamic continuation: the closure is parked in the
+    /// engine slab (slot recycled from the free-list when possible) and
+    /// a [`TypedEvent::Continuation`] fires it after `delay`. For code
+    /// that genuinely needs a capture but runs often enough that slab
+    /// reuse matters.
+    pub fn defer_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.defer_at(at, f);
+    }
+
+    /// Defers a dynamic continuation at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn defer_at(&mut self, at: SimTime, f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static) {
+        self.stats.continuations += 1;
+        let boxed: EventFn<W> = Box::new(f);
+        let slot = match self.slab_free.pop() {
+            Some(slot) => {
+                self.stats.slab_reuses += 1;
+                self.slab[slot as usize] = Some(boxed);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("continuation slab overflow");
+                self.slab.push(Some(boxed));
+                slot
+            }
+        };
+        self.push(at, Event::Typed(TypedEvent::Continuation { slot }));
+    }
+
+    /// Removes and returns the continuation parked at `slot`, returning
+    /// the slot to the free-list.
+    fn take_continuation(&mut self, slot: u32) -> EventFn<W> {
+        let f = self.slab[slot as usize]
+            .take()
+            .expect("continuation slot fired twice");
+        self.slab_free.push(slot);
+        f
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event<W>) {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={}, at={}",
@@ -76,11 +159,7 @@ impl<W> Scheduler<W> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(Scheduled {
-            at,
-            seq,
-            run: event,
-        });
+        self.pending.push(Scheduled { at, seq, ev });
     }
 }
 
@@ -88,24 +167,24 @@ impl<W> Scheduler<W> {
 /// for heavily loaded simulations (identical ordering semantics).
 enum Queue<W> {
     Heap(BinaryHeap<Scheduled<W>>),
-    Calendar(CalendarQueue<EventFn<W>>),
+    Calendar(CalendarQueue<Event<W>>),
 }
 
 impl<W> Queue<W> {
     fn push(&mut self, ev: Scheduled<W>) {
         match self {
             Queue::Heap(h) => h.push(ev),
-            Queue::Calendar(c) => c.push((ev.at.as_nanos(), ev.seq), ev.run),
+            Queue::Calendar(c) => c.push((ev.at.as_nanos(), ev.seq), ev.ev),
         }
     }
 
     fn pop(&mut self) -> Option<Scheduled<W>> {
         match self {
             Queue::Heap(h) => h.pop(),
-            Queue::Calendar(c) => c.pop().map(|((t, seq), run)| Scheduled {
+            Queue::Calendar(c) => c.pop().map(|((t, seq), ev)| Scheduled {
                 at: SimTime::from_nanos(t),
                 seq,
-                run,
+                ev,
             }),
         }
     }
@@ -221,22 +300,36 @@ impl EngineProfile {
 
 /// A deterministic discrete-event simulation engine over world state `W`.
 ///
+/// The world implements [`EventWorld`] and receives typed events through
+/// its `dispatch` match; boxed closures remain available through
+/// [`Engine::schedule_in`] for the rare dynamic case.
+///
 /// # Examples
 ///
 /// ```
-/// use desim::engine::Engine;
-/// use desim::time::SimDuration;
+/// use desim::{Engine, EventWorld, Scheduler, SimDuration, TypedEvent};
+///
+/// #[derive(Default)]
+/// struct World {
+///     hits: Vec<u64>,
+/// }
+///
+/// impl EventWorld for World {
+///     fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+///         let TypedEvent::Timer { id } = ev else { unreachable!() };
+///         self.hits.push(s.now().as_nanos());
+///         if id == 0 {
+///             // Firing an event may post more events — allocation-free.
+///             s.post_in(SimDuration::from_nanos(10), TypedEvent::Timer { id: 1 });
+///         }
+///     }
+/// }
 ///
 /// let mut engine = Engine::new();
-/// let mut hits: Vec<u64> = Vec::new();
-/// engine.schedule_in(SimDuration::from_nanos(5), Box::new(|s, world: &mut Vec<u64>| {
-///     world.push(s.now().as_nanos());
-///     s.schedule_in(SimDuration::from_nanos(10), Box::new(|s, world: &mut Vec<u64>| {
-///         world.push(s.now().as_nanos());
-///     }));
-/// }));
-/// engine.run(&mut hits);
-/// assert_eq!(hits, vec![5, 15]);
+/// let mut world = World::default();
+/// engine.post_in(SimDuration::from_nanos(5), TypedEvent::Timer { id: 0 });
+/// engine.run(&mut world);
+/// assert_eq!(world.hits, vec![5, 15]);
 /// ```
 pub struct Engine<W> {
     queue: Queue<W>,
@@ -279,6 +372,9 @@ impl<W> Engine<W> {
                 now: SimTime::ZERO,
                 next_seq: 0,
                 pending: Vec::new(),
+                slab: Vec::new(),
+                slab_free: Vec::new(),
+                stats: EventStats::default(),
             },
             fired: 0,
             event_limit: Self::DEFAULT_EVENT_LIMIT,
@@ -343,6 +439,7 @@ impl<W> Engine<W> {
         reg.gauge("engine.queue.high_water", self.queue_high_water as f64);
         reg.gauge("engine.queue.len", self.queue.len() as f64);
         reg.counter(format!("engine.queue.backend.{}", self.queue_backend()), 1);
+        self.scheduler.stats.export_metrics(reg);
         if let Some((resizes, buckets, occ)) = self.queue.calendar_stats() {
             reg.counter("engine.calendar.resizes", resizes);
             reg.gauge("engine.calendar.buckets", buckets as f64);
@@ -358,13 +455,52 @@ impl<W> Engine<W> {
         self.queue.is_empty() && self.scheduler.pending.is_empty()
     }
 
-    /// Schedules an event after `delay` from the current clock.
+    /// Posts a typed event after `delay` from the current clock — the
+    /// allocation-free hot path (see [`Scheduler::post_in`]).
+    pub fn post_in(&mut self, delay: SimDuration, ev: TypedEvent) {
+        self.scheduler.post_in(delay, ev);
+        self.drain_pending();
+    }
+
+    /// Posts a typed event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn post_at(&mut self, at: SimTime, ev: TypedEvent) {
+        self.scheduler.post_at(at, ev);
+        self.drain_pending();
+    }
+
+    /// Defers a slab-backed dynamic continuation after `delay` (see
+    /// [`Scheduler::defer_in`]).
+    pub fn defer_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static,
+    ) {
+        self.scheduler.defer_in(delay, f);
+        self.drain_pending();
+    }
+
+    /// Defers a slab-backed dynamic continuation at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn defer_at(&mut self, at: SimTime, f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static) {
+        self.scheduler.defer_at(at, f);
+        self.drain_pending();
+    }
+
+    /// Schedules a boxed-closure event after `delay` from the current
+    /// clock (the legacy dynamic path; stored as [`Event::Dyn`]).
     pub fn schedule_in(&mut self, delay: SimDuration, event: EventFn<W>) {
         self.scheduler.schedule_in(delay, event);
         self.drain_pending();
     }
 
-    /// Schedules an event at absolute time `at`.
+    /// Schedules a boxed-closure event at absolute time `at`.
     ///
     /// # Panics
     ///
@@ -374,13 +510,21 @@ impl<W> Engine<W> {
         self.drain_pending();
     }
 
+    /// How events entered the queue so far: typed (inline) vs dynamic
+    /// (boxed) vs slab continuations — the `engine.alloc.*` counters.
+    pub fn event_stats(&self) -> EventStats {
+        self.scheduler.stats
+    }
+
     fn drain_pending(&mut self) {
         for ev in self.scheduler.pending.drain(..) {
             self.queue.push(ev);
         }
         self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
+}
 
+impl<W: EventWorld> Engine<W> {
     /// Fires the single earliest event, advancing the clock to its
     /// timestamp. Returns `false` when the queue is empty.
     ///
@@ -397,9 +541,9 @@ impl<W> Engine<W> {
             self.event_limit
         );
         self.fired += 1;
-        self.scheduler.now = ev.at;
-        (ev.run)(&mut self.scheduler, world);
-        self.drain_pending();
+        // Sample queue depth right after the pop, before dispatch: the
+        // fired event is no longer pending, and its follow-ups aren't
+        // scheduled yet, so the sample reflects true residual depth.
         if let Some(prof) = &mut self.prof {
             if self.fired & (EngineProfile::SAMPLE_EVERY - 1) == 0 {
                 prof.samples += 1;
@@ -409,6 +553,16 @@ impl<W> Engine<W> {
                 }
             }
         }
+        self.scheduler.now = ev.at;
+        match ev.ev {
+            Event::Typed(TypedEvent::Continuation { slot }) => {
+                let f = self.scheduler.take_continuation(slot);
+                f(&mut self.scheduler, world);
+            }
+            Event::Typed(t) => world.dispatch(&mut self.scheduler, t),
+            Event::Dyn(f) => f(&mut self.scheduler, world),
+        }
+        self.drain_pending();
         true
     }
 
@@ -651,6 +805,131 @@ mod tests {
                 .as_f64()
                 .unwrap()
                 > 0.0
+        );
+    }
+
+    /// A world exercising the typed dispatch path: every event kind is
+    /// logged with its firing time; `Timer` re-arms once.
+    #[derive(Default)]
+    struct TypedWorld {
+        log: Vec<(u64, TypedEvent)>,
+    }
+
+    impl EventWorld for TypedWorld {
+        fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+            self.log.push((s.now().as_nanos(), ev));
+            if let TypedEvent::Timer { id: 0 } = ev {
+                s.post_in(SimDuration::from_nanos(4), TypedEvent::Timer { id: 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_dispatch_through_world() {
+        let mut e = Engine::new();
+        let mut w = TypedWorld::default();
+        e.post_at(SimTime::from_nanos(3), TypedEvent::Timer { id: 0 });
+        e.post_at(
+            SimTime::from_nanos(5),
+            TypedEvent::MessageReady { src: 1, dst: 2 },
+        );
+        e.post_at(SimTime::from_nanos(5), TypedEvent::RankResume { rank: 9 });
+        let end = e.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![
+                (3, TypedEvent::Timer { id: 0 }),
+                (5, TypedEvent::MessageReady { src: 1, dst: 2 }),
+                (5, TypedEvent::RankResume { rank: 9 }),
+                (7, TypedEvent::Timer { id: 1 }),
+            ]
+        );
+        assert_eq!(end, SimTime::from_nanos(7));
+        let stats = e.event_stats();
+        assert_eq!(stats.typed, 4);
+        assert_eq!(stats.dynamic, 0);
+    }
+
+    #[test]
+    fn typed_and_dyn_interleave_by_insertion_order() {
+        let mut e = Engine::new();
+        let mut w = TypedWorld::default();
+        // Same timestamp; the closure fires between the two typed events
+        // because insertion order breaks the tie.
+        e.post_at(SimTime::from_nanos(5), TypedEvent::Timer { id: 10 });
+        e.schedule_at(
+            SimTime::from_nanos(5),
+            Box::new(|s, w: &mut TypedWorld| {
+                w.log
+                    .push((s.now().as_nanos(), TypedEvent::Timer { id: 99 }));
+            }),
+        );
+        e.post_at(SimTime::from_nanos(5), TypedEvent::Timer { id: 11 });
+        e.run(&mut w);
+        assert_eq!(
+            w.log.iter().map(|(_, ev)| *ev).collect::<Vec<_>>(),
+            vec![
+                TypedEvent::Timer { id: 10 },
+                TypedEvent::Timer { id: 99 },
+                TypedEvent::Timer { id: 11 },
+            ]
+        );
+        let stats = e.event_stats();
+        assert_eq!((stats.typed, stats.dynamic), (2, 1));
+    }
+
+    #[test]
+    fn continuations_recycle_slab_slots() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        // Chain of deferred continuations: each frees its slot before the
+        // next is parked, so the slab never grows past one slot.
+        fn arm(s: &mut Scheduler<World>, depth: u64) {
+            s.defer_in(SimDuration::from_nanos(2), move |s, w: &mut World| {
+                w.push((s.now().as_nanos(), "cont"));
+                if depth > 0 {
+                    arm(s, depth - 1);
+                }
+            });
+        }
+        e.defer_in(SimDuration::from_nanos(2), |s, w: &mut World| {
+            w.push((s.now().as_nanos(), "cont"));
+            arm(s, 3);
+        });
+        e.run(&mut w);
+        assert_eq!(
+            w,
+            vec![
+                (2, "cont"),
+                (4, "cont"),
+                (6, "cont"),
+                (8, "cont"),
+                (10, "cont")
+            ]
+        );
+        let stats = e.event_stats();
+        assert_eq!(stats.continuations, 5);
+        assert_eq!(stats.slab_reuses, 4, "all but the first reuse the slot");
+    }
+
+    #[test]
+    fn alloc_counters_reach_metrics() {
+        let mut e = Engine::new();
+        let mut w = TypedWorld::default();
+        e.post_at(SimTime::from_nanos(1), TypedEvent::Timer { id: 5 });
+        e.defer_at(SimTime::from_nanos(2), |_, _| {});
+        e.run(&mut w);
+        let mut reg = obs::MetricsRegistry::new();
+        e.export_metrics(&mut reg);
+        assert_eq!(
+            reg.get("engine.alloc.typed_events")
+                .and_then(|m| m.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            reg.get("engine.alloc.continuations")
+                .and_then(|m| m.as_f64()),
+            Some(1.0)
         );
     }
 

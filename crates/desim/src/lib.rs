@@ -7,6 +7,10 @@
 //! * [`time::SimTime`] / [`time::SimDuration`] — integer-nanosecond clock;
 //! * [`engine::Engine`] — a time-ordered event queue over a user world
 //!   type, with deterministic FIFO tie-breaking;
+//! * [`event::TypedEvent`] — the plain-data event vocabulary, stored
+//!   inline in the queue and dispatched through the world's
+//!   [`event::EventWorld::dispatch`] match (boxed closures remain
+//!   available for the rare dynamic case);
 //! * [`resource::FifoResource`] — serializing servers used for links, NIC
 //!   ports and DMA engines;
 //! * [`rng::SplitMix64`] — seeded randomness for clock skew and noise;
@@ -15,19 +19,31 @@
 //!
 //! # Examples
 //!
-//! A two-event simulation:
+//! A two-event simulation on the allocation-free typed path:
 //!
 //! ```
-//! use desim::{Engine, SimDuration};
+//! use desim::{Engine, EventWorld, Scheduler, SimDuration, TypedEvent};
 //!
-//! let mut engine: Engine<u32> = Engine::new();
-//! let mut world = 0u32;
-//! engine.schedule_in(SimDuration::from_micros(1), Box::new(|s, w: &mut u32| {
-//!     *w += 1;
-//!     s.schedule_in(SimDuration::from_micros(2), Box::new(|_, w: &mut u32| *w += 10));
-//! }));
+//! #[derive(Default)]
+//! struct World {
+//!     total: u64,
+//! }
+//!
+//! impl EventWorld for World {
+//!     fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+//!         let TypedEvent::Timer { id } = ev else { unreachable!() };
+//!         self.total += id;
+//!         if id == 1 {
+//!             s.post_in(SimDuration::from_micros(2), TypedEvent::Timer { id: 10 });
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = World::default();
+//! engine.post_in(SimDuration::from_micros(1), TypedEvent::Timer { id: 1 });
 //! let end = engine.run(&mut world);
-//! assert_eq!(world, 11);
+//! assert_eq!(world.total, 11);
 //! assert_eq!(end.as_micros_f64(), 3.0);
 //! ```
 
@@ -37,6 +53,7 @@
 pub mod calqueue;
 pub mod check;
 pub mod engine;
+pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -44,6 +61,7 @@ pub mod time;
 
 pub use calqueue::CalendarQueue;
 pub use engine::{Engine, EngineProfile, EventFn, Scheduler};
+pub use event::{Event, EventStats, EventWorld, TypedEvent};
 pub use resource::{FifoResource, Grant, ResourcePool};
 pub use rng::SplitMix64;
 pub use stats::{Counter, LogHistogram, Summary};

@@ -151,6 +151,61 @@ fn calendar_engine_cascading_events() {
     });
 }
 
+/// Mixed typed events, boxed closures, and slab continuations interleave
+/// by (time, insertion order): the fired log is exactly a stable sort of
+/// the scheduling plan by time, identical on both queue backends and
+/// across same-seed reruns.
+#[test]
+fn mixed_typed_dyn_workload_is_deterministic() {
+    use desim::{EventWorld, Scheduler, TypedEvent};
+
+    #[derive(Default)]
+    struct Log(Vec<(u64, usize)>);
+    impl EventWorld for Log {
+        fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+            match ev {
+                TypedEvent::Timer { id } => self.0.push((s.now().as_nanos(), id as usize)),
+                other => unreachable!("test posts only timers: {other:?}"),
+            }
+        }
+    }
+
+    forall("mixed typed/dyn workload deterministic", 64, |g| {
+        let n = g.usize(1, 150);
+        let plan: Vec<(u64, u32)> = (0..n).map(|_| (g.u64(0, 99_999), g.u32(0, 2))).collect();
+        let run = |mut engine: Engine<Log>| {
+            for (i, &(t, kind)) in plan.iter().enumerate() {
+                let at = SimTime::from_nanos(t);
+                match kind {
+                    0 => engine.post_at(at, TypedEvent::Timer { id: i as u64 }),
+                    1 => engine.schedule_at(
+                        at,
+                        Box::new(move |s, w: &mut Log| w.0.push((s.now().as_nanos(), i))),
+                    ),
+                    _ => engine.defer_at(
+                        at,
+                        Box::new(move |s: &mut Scheduler<Log>, w: &mut Log| {
+                            w.0.push((s.now().as_nanos(), i));
+                        }),
+                    ),
+                }
+            }
+            let mut log = Log::default();
+            engine.run(&mut log);
+            log.0
+        };
+        let heap = run(Engine::new());
+        let calendar = run(Engine::with_calendar_queue());
+        let rerun = run(Engine::new());
+        let mut expect: Vec<(u64, usize)> =
+            plan.iter().enumerate().map(|(i, &(t, _))| (t, i)).collect();
+        expect.sort_by_key(|&(t, _)| t); // stable: ties keep insertion order
+        assert_eq!(heap, expect);
+        assert_eq!(heap, calendar);
+        assert_eq!(heap, rerun);
+    });
+}
+
 /// The RNG's bounded generator is uniform enough and in range.
 #[test]
 fn rng_bounded_in_range() {

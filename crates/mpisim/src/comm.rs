@@ -95,10 +95,12 @@ impl CollectiveOutcome {
 ///
 /// Each collective call executes the machine's algorithm for that
 /// operation on a *fresh* network state (a quiet machine in dedicated
-/// mode, as the paper's runs were), returning per-rank timings. For the
-/// paper's full measurement methodology (warm-up, k-iteration loops,
-/// max-reduction) use the `harness` crate, which drives
-/// [`Communicator::run_sequence`].
+/// mode, as the paper's runs were), returning per-rank timings. Rank
+/// stepping runs entirely on the engine's typed-event path
+/// ([`desim::TypedEvent`]) — no per-event allocation in the execution
+/// hot loop. For the paper's full measurement methodology (warm-up,
+/// k-iteration loops, max-reduction) use the `harness` crate, which
+/// drives [`Communicator::run_sequence`].
 #[derive(Debug, Clone)]
 pub struct Communicator {
     machine: Machine,

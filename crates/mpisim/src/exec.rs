@@ -8,6 +8,12 @@
 //! implicit synchronization — exactly like the paper's measurement loop,
 //! where a barrier "only synchronizes the processes logically" (§2).
 //!
+//! All executor events ride the engine's typed path
+//! ([`desim::TypedEvent`]): rank wakeups are `RankResume`, payload
+//! arrivals are `MessageReady`, and deferred sends are `ScheduleStep`
+//! carrying the tape position to re-read — no per-event allocation
+//! anywhere in the hot loop.
+//!
 //! Per-rank completion timestamps are recorded at every segment boundary,
 //! which is what the measurement harness needs to reconstruct the
 //! paper's per-process `MPI_Wtime` readings.
@@ -15,9 +21,9 @@
 use crate::error::SimMpiError;
 use crate::placement::{ExplicitPlacement, Placement};
 use collectives::{Schedule, Step};
-use desim::{Engine, Scheduler, SimDuration, SimTime, SplitMix64};
+use desim::{Engine, EventWorld, Scheduler, SimDuration, SimTime, SplitMix64, TypedEvent};
 use netmodel::{MachineSpec, NetInstr, NetState, OpClass, WireConfig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use topo::NodeId;
 
 /// Default cap on recorded [`MessageTrace`] entries (~1M): a 128-node
@@ -166,6 +172,15 @@ pub struct Observed {
     pub net: NetInstr,
     /// Event-queue high-water mark of the run.
     pub queue_high_water: usize,
+    /// How events entered the queue: typed vs boxed vs slab
+    /// continuations (the `engine.alloc.*` counters).
+    pub event_stats: desim::EventStats,
+    /// Logical per-segment FIFO occupancy updates the wire model
+    /// performed.
+    pub fifo_updates: u64,
+    /// Batched watermark commits actually applied — one per
+    /// (message, resource).
+    pub fifo_commits: u64,
     /// Engine self-profile, when [`ExecConfig::profile`] was set.
     pub engine_profile: Option<desim::EngineProfile>,
 }
@@ -249,7 +264,9 @@ struct RankState {
     tape: Vec<Tape>,
     pc: usize,
     blocked_on: Option<usize>,
-    mailbox: HashMap<usize, VecDeque<SimTime>>,
+    /// Arrived-but-unconsumed payload timestamps, indexed by source rank
+    /// (dense — every rank pair can exchange in an alltoall anyway).
+    mailbox: Vec<VecDeque<SimTime>>,
     /// CPU slowdown factor (1.0 = quiet node).
     slowdown: f64,
     /// Physical node this rank runs on.
@@ -279,6 +296,21 @@ struct World {
     dropped: u64,
     /// Phase-span sink, allocated only under [`execute_observed`].
     spans: Option<Vec<PhaseSpan>>,
+}
+
+impl EventWorld for World {
+    /// The executor's entire event vocabulary, dispatched by `match` —
+    /// this is the per-event hot path of every simulation.
+    fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: TypedEvent) {
+        match ev {
+            TypedEvent::RankResume { rank } => advance(s, self, rank as usize),
+            TypedEvent::MessageReady { src, dst } => deliver(s, self, src as usize, dst as usize),
+            TypedEvent::ScheduleStep { rank, step } => {
+                post_send(s, self, rank as usize, step as usize);
+            }
+            other => unreachable!("executor never posts {other:?}"),
+        }
+    }
 }
 
 /// Executes `segments` back to back on a fresh network state.
@@ -377,13 +409,23 @@ fn execute_inner(
         .map(|n| (n.amplitude, SplitMix64::new(n.seed)));
 
     // Build per-rank tapes: entry marker + steps per segment, then the
-    // segment-end timestamp marker.
+    // segment-end timestamp marker. The schedule's stepping hook
+    // (`Schedule::steps_of`) sizes each tape up front so the build loop
+    // never reallocates.
+    let tape_cap: Vec<usize> = (0..p)
+        .map(|r| {
+            segments
+                .iter()
+                .map(|seg| seg.steps_of(collectives::Rank(r)) + 2)
+                .sum()
+        })
+        .collect();
     let mut ranks: Vec<RankState> = (0..p)
         .map(|r| RankState {
-            tape: Vec::new(),
+            tape: Vec::with_capacity(tape_cap[r]),
             pc: 0,
             blocked_on: None,
-            mailbox: HashMap::new(),
+            mailbox: vec![VecDeque::new(); p],
             slowdown: match &mut noise_rng {
                 Some((amp, rng)) => 1.0 + *amp * rng.next_f64(),
                 None => 1.0,
@@ -423,7 +465,7 @@ fn execute_inner(
         Engine::new()
     };
     for (r, &t) in start.iter().enumerate() {
-        engine.schedule_at(t, advance_event(r));
+        engine.post_at(t, TypedEvent::RankResume { rank: r as u32 });
     }
     engine.run(&mut world);
 
@@ -451,10 +493,14 @@ fn execute_inner(
     } else {
         Vec::new()
     };
+    let (fifo_updates, fifo_commits) = world.net.fifo_update_stats();
     let observed = observe.then(|| Observed {
         spans: world.spans.take().unwrap_or_default(),
         net: world.net.instrumentation().cloned().unwrap_or_default(),
         queue_high_water: engine.queue_high_water(),
+        event_stats: engine.event_stats(),
+        fifo_updates,
+        fifo_commits,
         engine_profile: engine.profile().cloned(),
     });
     let phases = world
@@ -481,8 +527,9 @@ fn execute_inner(
     ))
 }
 
-fn advance_event(r: usize) -> desim::EventFn<World> {
-    Box::new(move |s, w| advance(s, w, r))
+/// The typed wakeup event for rank `r` ([`TypedEvent::RankResume`]).
+fn resume(r: usize) -> TypedEvent {
+    TypedEvent::RankResume { rank: r as u32 }
 }
 
 /// Records an attributed span when running observed; free otherwise.
@@ -534,58 +581,34 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                 if !d.is_zero() {
                     w.ranks[r].sw += d;
                     push_span(w, r, PhaseKind::Entry, now, now + d);
-                    s.schedule_in(d, advance_event(r));
+                    s.post_in(d, resume(r));
                     return;
                 }
             }
             Tape::Op(step, class) => match step {
-                Step::Send { to, bytes } => {
+                Step::Send { .. } => {
+                    let pc = w.ranks[r].pc;
                     w.ranks[r].pc += 1;
                     let o = cpu_charge(w, r, w.spec.send_overhead(class));
                     w.ranks[r].sw += o;
                     push_span(w, r, PhaseKind::SendOverhead, now, now + o);
                     // Perform the network send at exactly now + o so that
-                    // link resources are acquired in true time order.
-                    s.schedule_in(
+                    // link resources are acquired in true time order. The
+                    // event carries only the tape position; `post_send`
+                    // re-reads the step — the rank is parked until its
+                    // CPU-release event, so the tape entry cannot change
+                    // underneath the deferred event.
+                    s.post_in(
                         o,
-                        Box::new(move |s, w| {
-                            let posted = s.now();
-                            let src_node = w.ranks[r].node;
-                            let dst_node = w.ranks[to.0].node;
-                            let World { spec, net, .. } = w;
-                            let t = net.send(spec, class, src_node, dst_node, bytes, posted);
-                            // The stretch until the CPU is released is the
-                            // payload copy / engine setup: software time.
-                            w.ranks[r].sw += t.cpu_release.since(posted);
-                            push_span(w, r, PhaseKind::Copy, posted, t.cpu_release);
-                            if let Some(trace) = &mut w.trace {
-                                if trace.len() < w.trace_cap {
-                                    trace.push(MessageTrace {
-                                        src: r,
-                                        dst: to.0,
-                                        bytes,
-                                        class,
-                                        posted,
-                                        delivered: t.delivered,
-                                    });
-                                } else {
-                                    w.dropped += 1;
-                                }
-                            }
-                            s.schedule_at(
-                                t.delivered,
-                                Box::new(move |s, w| deliver(s, w, r, to.0)),
-                            );
-                            s.schedule_at(t.cpu_release, advance_event(r));
-                        }),
+                        TypedEvent::ScheduleStep {
+                            rank: r as u32,
+                            step: u32::try_from(pc).expect("tape index fits u32"),
+                        },
                     );
                     return;
                 }
                 Step::Recv { from, bytes } => {
-                    let queued = w.ranks[r]
-                        .mailbox
-                        .get_mut(&from.0)
-                        .and_then(VecDeque::pop_front);
+                    let queued = w.ranks[r].mailbox[from.0].pop_front();
                     match queued {
                         Some(arrived) => {
                             w.ranks[r].pc += 1;
@@ -595,7 +618,7 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                             w.ranks[r].sw += o;
                             push_span(w, r, PhaseKind::RecvWait, now, begin);
                             push_span(w, r, PhaseKind::RecvOverhead, begin, begin + o);
-                            s.schedule_at(begin + o, advance_event(r));
+                            s.post_at(begin + o, resume(r));
                         }
                         None => {
                             w.ranks[r].blocked_on = Some(from.0);
@@ -610,7 +633,7 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                     if !d.is_zero() {
                         w.ranks[r].sw += d;
                         push_span(w, r, PhaseKind::Compute, now, now + d);
-                        s.schedule_in(d, advance_event(r));
+                        s.post_in(d, resume(r));
                         return;
                     }
                 }
@@ -626,7 +649,7 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                             .unwrap_or(SimDuration::ZERO);
                         let release = now + latency;
                         for waiter in std::mem::take(&mut w.barrier.waiting) {
-                            s.schedule_at(release, advance_event(waiter));
+                            s.post_at(release, resume(waiter));
                         }
                     }
                     return;
@@ -636,10 +659,51 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
     }
 }
 
+/// Executes the deferred network send at tape position `step` on rank
+/// `r` — the [`TypedEvent::ScheduleStep`] handler, firing exactly
+/// `o_send` after the rank charged its send overhead.
+fn post_send(s: &mut Scheduler<World>, w: &mut World, r: usize, step: usize) {
+    let Some(&Tape::Op(Step::Send { to, bytes }, class)) = w.ranks[r].tape.get(step) else {
+        unreachable!("ScheduleStep must point at a Send tape entry");
+    };
+    let posted = s.now();
+    let src_node = w.ranks[r].node;
+    let dst_node = w.ranks[to.0].node;
+    let World { spec, net, .. } = w;
+    let t = net.send(spec, class, src_node, dst_node, bytes, posted);
+    // The stretch until the CPU is released is the payload copy / engine
+    // setup: software time.
+    w.ranks[r].sw += t.cpu_release.since(posted);
+    push_span(w, r, PhaseKind::Copy, posted, t.cpu_release);
+    if let Some(trace) = &mut w.trace {
+        if trace.len() < w.trace_cap {
+            trace.push(MessageTrace {
+                src: r,
+                dst: to.0,
+                bytes,
+                class,
+                posted,
+                delivered: t.delivered,
+            });
+        } else {
+            w.dropped += 1;
+        }
+    }
+    // Delivery first, CPU release second — FIFO tie-breaking depends on
+    // this insertion order when the two instants coincide. (Delivering
+    // eagerly at post time instead would invert same-instant tie-breaks
+    // and reorder FIFO link acquisition — the timeline must be identical
+    // to the per-event reference, so the arrival stays an event.)
+    let (at, ev) = t.delivery_event(r, to.0);
+    s.post_at(at, ev);
+    let (at, ev) = t.release_event(r);
+    s.post_at(at, ev);
+}
+
 /// Handles a payload arrival at `dst` from `src` at the current instant.
 fn deliver(s: &mut Scheduler<World>, w: &mut World, src: usize, dst: usize) {
     let now = s.now();
-    w.ranks[dst].mailbox.entry(src).or_default().push_back(now);
+    w.ranks[dst].mailbox[src].push_back(now);
     if w.ranks[dst].blocked_on == Some(src) {
         w.ranks[dst].blocked_on = None;
         advance(s, w, dst);

@@ -98,6 +98,9 @@ pub fn export_metrics(out: &ExecOutcome, observed: &Observed, reg: &mut MetricsR
     reg.gauge("exec.sw.total_us", sw_total);
     reg.gauge("exec.blocked.total_us", blocked_total);
     reg.gauge("exec.blocked.max_us", blocked_max);
+    observed.event_stats.export_metrics(reg);
+    reg.counter("net.fifo.updates", observed.fifo_updates);
+    reg.counter("net.fifo.commits", observed.fifo_commits);
     observed.net.export_metrics(reg);
     if let Some(prof) = &observed.engine_profile {
         prof.export_metrics(reg);

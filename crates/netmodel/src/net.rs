@@ -17,7 +17,7 @@
 
 use crate::class::OpClass;
 use crate::spec::{MachineSpec, SendEngine};
-use desim::{FifoResource, ResourcePool, SimDuration, SimTime};
+use desim::{FifoResource, ResourcePool, SimDuration, SimTime, TypedEvent};
 use topo::{NodeId, Topology};
 
 /// Timing outcome of pushing one message into the network.
@@ -30,6 +30,33 @@ pub struct SendTiming {
     /// When the full payload has arrived at the destination node (before
     /// receive-side software costs).
     pub delivered: SimTime,
+}
+
+impl SendTiming {
+    /// The typed completion event for this send: fires
+    /// [`TypedEvent::MessageReady`] at the delivery instant. Actor ids
+    /// are whatever the executor keys its state machines by — logical
+    /// ranks in `mpisim`, which need not equal physical node ids under
+    /// non-identity placement. The executor posts the returned pair on
+    /// the engine's allocation-free path.
+    pub fn delivery_event(&self, src_actor: usize, dst_actor: usize) -> (SimTime, TypedEvent) {
+        (
+            self.delivered,
+            TypedEvent::MessageReady {
+                src: src_actor as u32,
+                dst: dst_actor as u32,
+            },
+        )
+    }
+
+    /// The typed CPU-release event: fires [`TypedEvent::RankResume`] for
+    /// the sending actor when its CPU is free to continue.
+    pub fn release_event(&self, actor: usize) -> (SimTime, TypedEvent) {
+        (
+            self.cpu_release,
+            TypedEvent::RankResume { rank: actor as u32 },
+        )
+    }
 }
 
 /// Ablation switches for the wire model (all on by default).
@@ -106,6 +133,16 @@ impl NetInstr {
     }
 }
 
+/// Per-link accumulator for one in-flight send: the local watermark copy
+/// plus the batch totals committed back in one
+/// [`FifoResource::commit`] per (message, link).
+#[derive(Debug, Clone, Copy)]
+struct LinkAcc {
+    free: SimTime,
+    service: SimDuration,
+    grants: u64,
+}
+
 /// Mutable network state for one `p`-node partition of a machine.
 pub struct NetState {
     topo: Box<dyn Topology>,
@@ -114,6 +151,13 @@ pub struct NetState {
     config: WireConfig,
     messages: u64,
     bytes: u64,
+    /// Logical per-segment FIFO occupancy updates performed (what the
+    /// un-coalesced model would have committed individually).
+    fifo_updates: u64,
+    /// Batched watermark commits actually applied — one per
+    /// (message, resource); `fifo_updates - fifo_commits` updates were
+    /// coalesced away.
+    fifo_commits: u64,
     /// Per-link/per-class accounting; `None` (the default) keeps the
     /// send hot path free of per-link bookkeeping.
     instr: Option<Box<NetInstr>>,
@@ -124,6 +168,11 @@ pub struct NetState {
     /// Scratch buffer holding the current route's links, so the send hot
     /// path does not re-borrow the cache while acquiring link resources.
     scratch: Vec<topo::LinkId>,
+    /// Relative link capacities, precomputed once (indexed by link id) so
+    /// the per-segment wire loop avoids a virtual topology call per hop.
+    link_cap: Vec<f64>,
+    /// Scratch per-link accumulators, parallel to `scratch`.
+    link_acc: Vec<LinkAcc>,
 }
 
 impl std::fmt::Debug for NetState {
@@ -158,6 +207,9 @@ impl NetState {
         );
         let topo = spec.topology.build(p);
         let links = ResourcePool::new(topo.links());
+        let link_cap = (0..topo.links())
+            .map(|l| topo.link_capacity(topo::LinkId(l)).max(1.0))
+            .collect();
         NetState {
             links,
             inject: vec![FifoResource::new(); p],
@@ -165,9 +217,13 @@ impl NetState {
             config,
             messages: 0,
             bytes: 0,
+            fifo_updates: 0,
+            fifo_commits: 0,
             instr: None,
             route_cache: vec![None; p * p],
             scratch: Vec::new(),
+            link_cap,
+            link_acc: Vec::new(),
         }
     }
 
@@ -193,6 +249,8 @@ impl NetState {
     pub fn export_metrics(&self, reg: &mut obs::MetricsRegistry) {
         reg.counter("net.messages", self.messages);
         reg.counter("net.bytes", self.bytes);
+        reg.counter("net.fifo.updates", self.fifo_updates);
+        reg.counter("net.fifo.commits", self.fifo_commits);
         reg.gauge(
             "net.link.busy.total_us",
             self.total_link_busy().as_micros_f64(),
@@ -224,6 +282,12 @@ impl NetState {
     /// Payload bytes sent through this state so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes
+    }
+
+    /// `(logical per-segment updates, batched commits)` on the FIFO
+    /// watermarks so far; the difference is the updates coalesced away.
+    pub fn fifo_update_stats(&self) -> (u64, u64) {
+        (self.fifo_updates, self.fifo_commits)
     }
 
     /// Total busy time across all links (contention diagnostics).
@@ -354,6 +418,31 @@ impl NetState {
             }
         }
 
+        // Per-segment FIFO arithmetic runs against *local* watermark
+        // copies and is committed back once per (message, resource).
+        // Within one send() call no other traffic touches these
+        // resources, and a FIFO resource is a single watermark, so the
+        // chained local arithmetic is byte-identical to per-segment
+        // acquires — at one commit instead of one update per segment.
+        let mut inject_free = self.inject[src.0].free_at();
+        let mut inject_service = SimDuration::ZERO;
+        let mut inject_grants = 0u64;
+        self.link_acc.clear();
+        for link in &self.scratch {
+            self.link_acc.push(LinkAcc {
+                free: self.links.free_at(link.0),
+                service: SimDuration::ZERO,
+                grants: 0,
+            });
+        }
+
+        // Loop-invariant ablation switches and instrumentation
+        // accumulators, hoisted so the per-hop loop stays branch-light.
+        let contention = self.config.link_contention;
+        let wormhole = self.config.wormhole;
+        let mut inject_queue_ns = 0u64;
+        let mut link_queue_ns = 0u64;
+
         let mut remaining = total_bytes;
         let mut segment_ready = engine_ready;
         let mut delivered = engine_ready;
@@ -363,10 +452,11 @@ impl NetState {
             let chunk_bytes = f64::from(chunk.max(spec.min_packet_bytes));
             let serialize = SimDuration::from_nanos_f64(chunk_bytes * stream_ns_per_byte);
             let inject_at = if self.config.nic_serialization {
-                let at = self.inject[src.0].acquire(segment_ready, serialize).start;
-                if let Some(instr) = &mut self.instr {
-                    instr.inject_queue_ns += at.since(segment_ready).as_nanos();
-                }
+                let at = segment_ready.max(inject_free);
+                inject_free = at + serialize;
+                inject_service += serialize;
+                inject_grants += 1;
+                inject_queue_ns += at.since(segment_ready).as_nanos();
                 at
             } else {
                 segment_ready
@@ -378,36 +468,51 @@ impl NetState {
             // Header propagation with per-link occupancy. A link's
             // occupancy is the serialization time divided by its relative
             // capacity (fat topologies aggregate bandwidth upward).
+            // Store-and-forward re-serializes the full payload per hop.
+            let hop_extra = if wormhole { hop } else { hop + serialize };
             let mut t_hdr = inject_at;
             for li in 0..self.scratch.len() {
-                let link = self.scratch[li];
-                let capacity = self.topo.link_capacity(link).max(1.0);
+                let capacity = self.link_cap[self.scratch[li].0];
                 let occupancy = if capacity > 1.0 {
                     SimDuration::from_nanos_f64(chunk_bytes * stream_ns_per_byte / capacity)
                 } else {
                     serialize
                 };
-                let at = if self.config.link_contention {
-                    let start = self.links.acquire(link.0, t_hdr, occupancy).start;
-                    if let Some(instr) = &mut self.instr {
-                        instr.link_queue_ns += start.since(t_hdr).as_nanos();
-                    }
+                let at = if contention {
+                    let acc = &mut self.link_acc[li];
+                    let start = t_hdr.max(acc.free);
+                    acc.free = start + occupancy;
+                    acc.service += occupancy;
+                    acc.grants += 1;
+                    link_queue_ns += start.since(t_hdr).as_nanos();
                     start
                 } else {
                     t_hdr
                 };
-                t_hdr = at + hop;
-                if !self.config.wormhole {
-                    // Store-and-forward: full payload re-serialized per hop.
-                    t_hdr += serialize;
-                }
+                t_hdr = at + hop_extra;
             }
-            let seg_delivered = if self.config.wormhole {
-                t_hdr + serialize
-            } else {
-                t_hdr
-            };
+            let seg_delivered = if wormhole { t_hdr + serialize } else { t_hdr };
             delivered = delivered.max(seg_delivered);
+        }
+        if let Some(instr) = &mut self.instr {
+            instr.inject_queue_ns += inject_queue_ns;
+            instr.link_queue_ns += link_queue_ns;
+        }
+
+        // Commit the batched occupancy: one watermark write per touched
+        // resource, regardless of segment count.
+        if inject_grants > 0 {
+            self.inject[src.0].commit(inject_free, inject_service, inject_grants);
+            self.fifo_updates += inject_grants;
+            self.fifo_commits += 1;
+        }
+        for (li, acc) in self.link_acc.iter().enumerate() {
+            if acc.grants > 0 {
+                self.links
+                    .commit(self.scratch[li].0, acc.free, acc.service, acc.grants);
+                self.fifo_updates += acc.grants;
+                self.fifo_commits += 1;
+            }
         }
         SendTiming {
             cpu_release,
@@ -579,6 +684,94 @@ mod tests {
             ..WireConfig::default()
         });
         assert!(without < with, "ablating contention must speed things up");
+    }
+
+    #[test]
+    fn store_and_forward_exact_per_hop_reserialization() {
+        // 2x2 mesh: 0 -> 3 takes exactly two hops. With wormhole off, the
+        // full payload re-serializes on every hop; with it on, the
+        // serialization is paid once behind the pipelined header.
+        let s = spec(SendEngine::Cpu);
+        let mut wh = NetState::new(&s, 4);
+        let a = wh.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(3), 100, T0);
+        // copy 200; header: hop + hop; stream once: 1000.
+        assert_eq!(a.delivered.as_nanos(), 200 + 100 + 100 + 1000);
+        let mut sf = NetState::with_config(
+            &s,
+            4,
+            WireConfig {
+                wormhole: false,
+                ..WireConfig::default()
+            },
+        );
+        let b = sf.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(3), 100, T0);
+        // copy 200; per hop: hop latency + full 1000 ns re-serialization.
+        assert_eq!(b.delivered.as_nanos(), 200 + (100 + 1000) * 2);
+    }
+
+    #[test]
+    fn store_and_forward_single_hop_matches_wormhole() {
+        // One hop has nothing to pipeline across: both models pay one
+        // hop latency plus one serialization.
+        let s = spec(SendEngine::Cpu);
+        let mut wh = NetState::new(&s, 2);
+        let mut sf = NetState::with_config(
+            &s,
+            2,
+            WireConfig {
+                wormhole: false,
+                ..WireConfig::default()
+            },
+        );
+        let a = wh.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        let b = sf.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(b.delivered.as_nanos(), 200 + 100 + 1000);
+    }
+
+    #[test]
+    fn coalesced_commits_one_per_message_resource() {
+        // An 8-segment send over a 1-hop route: 8 inject + 8 link logical
+        // updates collapse into one commit per resource, while the link
+        // end-state equals the per-segment acquire sequence.
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::with_config(
+            &s,
+            2,
+            WireConfig {
+                segment_bytes: Some(1_024),
+                ..WireConfig::default()
+            },
+        );
+        net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 8_192, T0);
+        let (updates, commits) = net.fifo_update_stats();
+        assert_eq!(updates, 16, "8 segments x (inject + 1 link)");
+        assert_eq!(commits, 2, "one per (message, resource)");
+        // The route's one link saw 8 grants totalling the full payload's
+        // serialization time, exactly as 8 acquires would record.
+        let loads = net.link_loads();
+        assert_eq!(loads.len(), 1);
+        let link = net.links.get(loads[0].0 .0).expect("in range");
+        assert_eq!(link.grants(), 8);
+        assert_eq!(link.busy_time(), SimDuration::from_nanos(8_192 * 10));
+
+        let mut reg = obs::MetricsRegistry::new();
+        net.export_metrics(&mut reg);
+        assert_eq!(reg.get("net.fifo.updates").unwrap().as_f64(), Some(16.0));
+        assert_eq!(reg.get("net.fifo.commits").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn typed_event_helpers_carry_timing() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 2);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        let (at, ev) = t.delivery_event(0, 1);
+        assert_eq!(at, t.delivered);
+        assert_eq!(ev, TypedEvent::MessageReady { src: 0, dst: 1 });
+        let (at, ev) = t.release_event(0);
+        assert_eq!(at, t.cpu_release);
+        assert_eq!(ev, TypedEvent::RankResume { rank: 0 });
     }
 
     #[test]
