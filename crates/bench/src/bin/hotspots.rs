@@ -141,10 +141,13 @@ fn to_json(all: &[MachineHotspots]) -> Json {
 
 fn main() {
     let cli = Cli::parse();
-    let all: Vec<MachineHotspots> = [Machine::sp2(), Machine::paragon(), Machine::t3d()]
-        .iter()
-        .map(analyze)
-        .collect();
+    let machines = [Machine::sp2(), Machine::paragon(), Machine::t3d()];
+    let (all, _stats) = harness::map_indexed(
+        machines.len(),
+        cli.threads,
+        |i| analyze(&machines[i]),
+        &|_, _| {},
+    );
 
     if cli.json {
         println!("{}", to_json(&all).to_string_pretty());

@@ -15,18 +15,29 @@
 //! `--profile` additionally enables the desim engine's self-profiling
 //! (events/sec, calendar-queue depth and occupancy, wall-clock), which
 //! then appears in the metrics snapshot under `engine.prof.*`.
+//!
+//! `--suite` runs the fixed 21-point perfgate suite (all seven
+//! collectives × three machines at the representative `(m, p)`) instead
+//! of a single point, writing one trace + metrics file pair per point
+//! plus a `dataset.csv` measured over the same grid. Every file is a
+//! pure function of the simulation seed, so the whole output directory
+//! is byte-identical for any `--threads N` — the CI determinism job
+//! diffs a serial run against `--threads 4`.
 
+use harness::{Protocol, SweepBuilder};
 use mpisim::comm::RunOptions;
 use mpisim::{observe, Machine, OpClass, Rank};
 use obs::MetricsRegistry;
 
 struct Args {
-    machine: Machine,
-    op: OpClass,
+    machine: Option<Machine>,
+    op: Option<OpClass>,
     p: usize,
     m: u32,
     out_dir: String,
     profile: bool,
+    suite: bool,
+    threads: usize,
 }
 
 fn parse_machine(name: &str) -> Option<Machine> {
@@ -47,7 +58,7 @@ fn parse_op(name: &str) -> Option<OpClass> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile]"
+        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile]\n       observe --suite [--threads N] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -59,6 +70,8 @@ fn parse_args() -> Args {
     let mut m = 4096u32;
     let mut out_dir = ".".to_string();
     let mut profile = false;
+    let mut suite = false;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -69,6 +82,8 @@ fn parse_args() -> Args {
             "-m" | "--bytes" => m = value().parse().unwrap_or_else(|_| usage()),
             "--out" => out_dir = value(),
             "--profile" => profile = true,
+            "--suite" => suite = true,
+            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -76,8 +91,9 @@ fn parse_args() -> Args {
             }
         }
     }
-    let Some(machine) = machine else { usage() };
-    let Some(op) = op else { usage() };
+    if !suite && (machine.is_none() || op.is_none()) {
+        usage();
+    }
     Args {
         machine,
         op,
@@ -85,6 +101,8 @@ fn parse_args() -> Args {
         m,
         out_dir,
         profile,
+        suite,
+        threads,
     }
 }
 
@@ -119,30 +137,47 @@ fn heatmap(loads: &[(usize, desim::SimDuration)], links: usize) -> String {
     out
 }
 
-fn main() {
-    let args = parse_args();
-    let machine = &args.machine;
-    let bytes = if args.op == OpClass::Barrier {
-        0
-    } else {
-        args.m
-    };
-    let comm = machine.communicator(args.p).expect("communicator size");
-    let schedule = comm
-        .schedule(args.op, Rank(0), bytes)
-        .expect("schedule build");
-    let options = RunOptions {
-        profile: args.profile,
-        ..RunOptions::default()
-    };
+/// Stable per-point file stem, e.g. `observe_ibm_sp2_alltoall_p64_m4096`.
+fn stem(machine: &Machine, op: OpClass, p: usize, bytes: u32) -> String {
+    format!(
+        "observe_{}_{}_p{}_m{}",
+        machine.name().to_ascii_lowercase().replace(' ', "_"),
+        op.key(),
+        p,
+        bytes
+    )
+}
+
+/// One fully instrumented point, rendered to its output documents.
+struct ObservedPoint {
+    out: mpisim::exec::ExecOutcome,
+    trace: obs::ChromeTrace,
+    snapshot: String,
+    reg: MetricsRegistry,
+    manifest: obs::RunManifest,
+    links: usize,
+}
+
+/// Runs one point under full instrumentation and renders its trace +
+/// metrics documents. Pure: same inputs produce the same bytes.
+fn observe_point(
+    machine: &Machine,
+    op: OpClass,
+    p: usize,
+    m: u32,
+    options: RunOptions,
+) -> ObservedPoint {
+    let bytes = if op == OpClass::Barrier { 0 } else { m };
+    let comm = machine.communicator(p).expect("communicator size");
+    let schedule = comm.schedule(op, Rank(0), bytes).expect("schedule build");
     let (out, observed) = comm
         .run_observed(&[&schedule], options)
         .expect("observed execution");
 
     let wire = machine.wire_config();
     let manifest = obs::RunManifest::new(machine.name())
-        .param("op", args.op.key())
-        .param("p", args.p)
+        .param("op", op.key())
+        .param("p", p)
         .param("m_bytes", bytes)
         .param("start", "cold, no skew")
         .param("link_contention", wire.link_contention)
@@ -156,37 +191,135 @@ fn main() {
 
     let mut reg = MetricsRegistry::new();
     observe::export_metrics(&out, &observed, &mut reg);
-
-    let stem = format!(
-        "observe_{}_{}_p{}_m{}",
-        args.machine.name().to_ascii_lowercase().replace(' ', "_"),
-        args.op.key(),
-        args.p,
-        bytes
-    );
-    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
-    let trace_path = format!("{}/{stem}.trace.json", args.out_dir);
-    let metrics_path = format!("{}/{stem}.metrics.json", args.out_dir);
-
     let trace = observe::chrome_trace(machine.name(), &out, &observed);
-    std::fs::write(&trace_path, trace.to_json_string()).expect("write trace");
-    let snapshot = observe::snapshot(&manifest, &reg);
-    std::fs::write(&metrics_path, snapshot.to_string_pretty()).expect("write metrics");
-
-    println!("{}", report::metrics::render(&manifest, &reg));
-    println!();
+    let snapshot = observe::snapshot(&manifest, &reg).to_string_pretty();
     let links = observed.net.link_bytes.len();
+    ObservedPoint {
+        out,
+        trace,
+        snapshot,
+        reg,
+        manifest,
+        links,
+    }
+}
+
+/// The fixed 21-point suite in canonical order, run under full
+/// instrumentation with `threads` workers; every output file is written
+/// in canonical order from the merged results.
+fn run_suite(out_dir: &str, threads: usize) {
+    let suite = bench::perfgate::default_suite();
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+
+    let (rendered, stats) = harness::map_indexed(
+        suite.len(),
+        threads,
+        |i| {
+            let pt = &suite[i];
+            let obs = observe_point(
+                &pt.machine,
+                pt.op,
+                pt.nodes,
+                pt.bytes,
+                RunOptions::default(),
+            );
+            let file_stem = stem(&pt.machine, pt.op, pt.nodes, pt.bytes);
+            (
+                file_stem,
+                obs.trace.to_json_string(),
+                obs.snapshot,
+                obs.trace.len(),
+            )
+        },
+        &|_, _| {},
+    );
+    for (file_stem, trace_json, metrics_json, events) in &rendered {
+        std::fs::write(format!("{out_dir}/{file_stem}.trace.json"), trace_json)
+            .expect("write trace");
+        std::fs::write(format!("{out_dir}/{file_stem}.metrics.json"), metrics_json)
+            .expect("write metrics");
+        println!("wrote {out_dir}/{file_stem}.trace.json ({events} events)");
+    }
+
+    // The same grid measured through the harness methodology: the
+    // Dataset side of the serial-vs-parallel byte-equality gate.
+    let ops: Vec<OpClass> = suite
+        .iter()
+        .map(|pt| pt.op)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(Vec::new(), |mut acc, op| {
+            if !acc.contains(&op) {
+                acc.push(op);
+            }
+            acc
+        });
+    let machines: Vec<Machine> = {
+        let mut seen: Vec<Machine> = Vec::new();
+        for pt in &suite {
+            if !seen.iter().any(|m| m.name() == pt.machine.name()) {
+                seen.push(pt.machine.clone());
+            }
+        }
+        seen
+    };
+    let data = SweepBuilder::new()
+        .machines(machines)
+        .ops(ops)
+        .message_sizes([bench::perfgate::SUITE_BYTES])
+        .node_counts([bench::perfgate::SUITE_NODES])
+        .protocol(Protocol::quick())
+        .threads(threads)
+        .run()
+        .expect("suite sweep");
+    std::fs::write(format!("{out_dir}/dataset.csv"), data.to_csv()).expect("write dataset");
+    println!(
+        "wrote {out_dir}/dataset.csv ({} points, {} workers, {:.0}% utilization)",
+        data.len(),
+        stats.threads,
+        100.0 * stats.utilization()
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.suite {
+        run_suite(&args.out_dir, args.threads);
+        return;
+    }
+
+    let machine = args.machine.as_ref().expect("checked in parse_args");
+    let op = args.op.expect("checked in parse_args");
+    let bytes = if op == OpClass::Barrier { 0 } else { args.m };
+    let options = RunOptions {
+        profile: args.profile,
+        ..RunOptions::default()
+    };
+    let point = observe_point(machine, op, args.p, args.m, options);
+
+    let file_stem = stem(machine, op, args.p, bytes);
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let trace_path = format!("{}/{file_stem}.trace.json", args.out_dir);
+    let metrics_path = format!("{}/{file_stem}.metrics.json", args.out_dir);
+
+    std::fs::write(&trace_path, point.trace.to_json_string()).expect("write trace");
+    std::fs::write(&metrics_path, &point.snapshot).expect("write metrics");
+
+    println!("{}", report::metrics::render(&point.manifest, &point.reg));
+    println!();
     println!(
         "{}",
         heatmap(
-            &out.link_loads
+            &point
+                .out
+                .link_loads
                 .iter()
                 .map(|&(id, b)| (id, b))
                 .collect::<Vec<_>>(),
-            links
+            point.links
         )
     );
-    println!("wrote {trace_path} ({} events)", trace.len());
-    println!("wrote {metrics_path} ({} metrics)", reg.len());
+    println!("wrote {trace_path} ({} events)", point.trace.len());
+    println!("wrote {metrics_path} ({} metrics)", point.reg.len());
     println!("open the trace at https://ui.perfetto.dev (drag & drop the .trace.json)");
 }

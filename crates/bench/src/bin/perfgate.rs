@@ -7,6 +7,13 @@
 //!
 //!   --quick              reduced measurement protocol (CI default)
 //!   --rounds N           timing rounds per suite point (default 5)
+//!   --threads N          worker threads for the untimed stages (fit
+//!                        sweep, communicator setup); 0 = auto-detect.
+//!                        The wall-clock measurement points themselves
+//!                        always run pinned to one worker, serialized
+//!                        within each interleaved round, so reported
+//!                        numbers stay comparable to the committed
+//!                        baseline at any thread count (default 1)
 //!   --out FILE           report path (default BENCH_<date>.json)
 //!   --baseline FILE      baseline path (default crates/bench/baseline.json)
 //!   --update-baseline    overwrite the baseline with this run and exit
@@ -15,11 +22,16 @@
 //!   --no-fit             skip the fit-quality drift sweep
 //! ```
 //!
+//! Alongside the report, the `sweep.par.*` worker-utilization metrics
+//! of the fit sweep are written to `<out stem>.par.json` so CI can
+//! archive executor utilization next to the wall-clock numbers.
+//!
 //! Exit codes: 0 pass, 1 regression beyond the noise-aware threshold,
 //! 2 schema or I/O error.
 
 use bench::perfgate::{
     compare, default_suite, drift, iso_date, perf_rows, run_suite, BenchReport, GateStatus,
+    SuiteConfig,
 };
 use harness::{Protocol, SweepBuilder};
 use mpisim::OpClass;
@@ -29,6 +41,7 @@ use std::time::SystemTime;
 struct Opts {
     quick: bool,
     rounds: usize,
+    threads: usize,
     out: Option<String>,
     baseline: String,
     update_baseline: bool,
@@ -40,6 +53,7 @@ fn parse_opts() -> Opts {
     let mut o = Opts {
         quick: false,
         rounds: 5,
+        threads: 1,
         out: None,
         baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json").to_string(),
         update_baseline: false,
@@ -60,6 +74,12 @@ fn parse_opts() -> Opts {
                         std::process::exit(2);
                     });
             }
+            "--threads" => {
+                o.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a non-negative integer (0 = auto)");
+                    std::process::exit(2);
+                });
+            }
             "--out" => o.out = args.next(),
             "--baseline" => {
                 o.baseline = args.next().unwrap_or_else(|| {
@@ -72,8 +92,8 @@ fn parse_opts() -> Opts {
             "--no-fit" => o.fit = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "options: --quick  --rounds N  --out FILE  --baseline FILE  \
-                     --update-baseline  --report-only  --no-fit"
+                    "options: --quick  --rounds N  --threads N  --out FILE  \
+                     --baseline FILE  --update-baseline  --report-only  --no-fit"
                 );
                 std::process::exit(0);
             }
@@ -86,12 +106,13 @@ fn parse_opts() -> Opts {
 /// Fit-quality drift sweep: a small grid, fitted per (machine, op), with
 /// R²/residual/accuracy gauges exported so each BENCH_*.json carries the
 /// model-quality state alongside the wall-clock numbers.
-fn fit_metrics(reg: &mut MetricsRegistry) -> Result<(), String> {
+fn fit_metrics(reg: &mut MetricsRegistry, threads: usize) -> Result<(), String> {
     let sweep = SweepBuilder::new()
         .ops(OpClass::COLLECTIVES)
         .message_sizes([64, 1024, 16_384])
         .node_counts([8, 16, 32, 64])
-        .protocol(Protocol::quick());
+        .protocol(Protocol::quick())
+        .threads(threads);
     let data = sweep.run_metered(reg).map_err(|e| e.to_string())?;
     for d in perfmodel::diagnose_all(&data) {
         d.export_metrics(reg);
@@ -114,8 +135,11 @@ fn run() -> i32 {
 
     let mut reg = MetricsRegistry::new();
     if opts.fit {
-        eprintln!("[perfgate] fit-quality sweep…");
-        if let Err(e) = fit_metrics(&mut reg) {
+        eprintln!(
+            "[perfgate] fit-quality sweep ({} thread(s))…",
+            harness::resolve_threads(opts.threads)
+        );
+        if let Err(e) = fit_metrics(&mut reg, opts.threads) {
             eprintln!("[perfgate] fit sweep failed: {e}");
             return 2;
         }
@@ -136,8 +160,11 @@ fn run() -> i32 {
     let current = match run_suite(
         &suite,
         &protocol,
-        opts.rounds,
-        opts.quick,
+        SuiteConfig {
+            rounds: opts.rounds,
+            quick: opts.quick,
+            threads: opts.threads,
+        },
         date.clone(),
         reg.snapshot(),
         |done, total| {
@@ -160,6 +187,23 @@ fn run() -> i32 {
         return 2;
     }
     eprintln!("[perfgate] wrote {out_path}");
+
+    // Executor-utilization sidecar: the sweep.par.* subset of the fit
+    // sweep's metrics, archived by CI next to the report artifact.
+    let par_path = format!("{}.par.json", out_path.trim_end_matches(".json"));
+    let par_doc = match reg.snapshot() {
+        obs::Json::Object(all) => obs::Json::Object(
+            all.into_iter()
+                .filter(|(k, _)| k.starts_with("sweep.par."))
+                .collect(),
+        ),
+        other => other,
+    };
+    if let Err(e) = std::fs::write(&par_path, par_doc.to_string_pretty()) {
+        eprintln!("[perfgate] cannot write {par_path}: {e}");
+        return 2;
+    }
+    eprintln!("[perfgate] wrote {par_path}");
 
     if opts.update_baseline {
         if let Err(e) = std::fs::write(&opts.baseline, &doc) {

@@ -13,6 +13,10 @@
 //! - `--deny`   exit nonzero if any sweep point has a finding (CI gate)
 //! - `--json`   machine-readable output (findings + `schedcheck.*`
 //!   metrics snapshot) instead of the text tables
+//! - `--threads N`  shard the sweep across N workers (0 = auto-detect).
+//!   Static checks are pure functions of the schedule, so every point
+//!   runs fully parallel; verdicts and metrics merge in canonical
+//!   sweep order, making all output byte-identical to `--threads 1`
 //! - `--demo-broken`  additionally analyze four deliberately broken
 //!   broadcast variants, one per lint class (see EXPERIMENTS.md)
 
@@ -23,24 +27,37 @@ use obs::{Json, MetricsRegistry};
 use report::Table;
 use schedcheck::{depth_bound, verify_expected, Expectations, Report};
 
-#[derive(Default)]
 struct Opts {
     all: bool,
     deny: bool,
     json: bool,
     demo: bool,
+    threads: usize,
 }
 
 fn parse_opts() -> Opts {
-    let mut o = Opts::default();
-    for a in std::env::args().skip(1) {
+    let mut o = Opts {
+        all: false,
+        deny: false,
+        json: false,
+        demo: false,
+        threads: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--all" => o.all = true,
             "--deny" => o.deny = true,
             "--json" => o.json = true,
             "--demo-broken" => o.demo = true,
+            "--threads" => {
+                o.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a non-negative integer (0 = auto)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                eprintln!("options: --all  --deny  --json  --demo-broken");
+                eprintln!("options: --all  --deny  --json  --threads N  --demo-broken");
                 std::process::exit(0);
             }
             other => eprintln!("ignoring unknown option {other}"),
@@ -58,7 +75,8 @@ struct Point {
     report: Report,
 }
 
-fn sweep(opts: &Opts, metrics: &mut MetricsRegistry) -> Vec<Point> {
+/// The canonical sweep grid: machine → op → p → m, barrier at one size.
+fn sweep_specs(opts: &Opts) -> Vec<(MachineId, OpClass, usize, u32)> {
     let node_counts: &[usize] = if opts.all {
         &[2, 3, 4, 8, 16, 17, 32, 64, 128]
     } else {
@@ -70,7 +88,7 @@ fn sweep(opts: &Opts, metrics: &mut MetricsRegistry) -> Vec<Point> {
         &[1024]
     };
 
-    let mut points = Vec::new();
+    let mut specs = Vec::new();
     for machine in MachineId::ALL {
         for class in OpClass::COLLECTIVES {
             for &p in node_counts {
@@ -81,36 +99,60 @@ fn sweep(opts: &Opts, metrics: &mut MetricsRegistry) -> Vec<Point> {
                     sizes
                 };
                 for &bytes in ms {
-                    let s = vendor_schedule(machine, class, p, Rank(0), bytes)
-                        .expect("vendor table covers all seven collectives");
-                    let report = verify_expected(
-                        &s,
-                        &Expectations {
-                            algorithm: vendor_algorithm(machine, class),
-                            root: Rank(0),
-                            bytes,
-                        },
-                    );
-                    metrics.counter("schedcheck.points", 1);
-                    metrics.counter("schedcheck.findings", report.findings.len() as u64);
-                    metrics.observe("schedcheck.depth", report.stats.crit.depth as u64);
-                    metrics.observe("schedcheck.messages", report.stats.messages as u64);
-                    metrics.observe(
-                        "schedcheck.recv_fanin",
-                        report.stats.crit.max_recv_fanin as u64,
-                    );
-                    points.push(Point {
-                        machine,
-                        class,
-                        p,
-                        bytes,
-                        report,
-                    });
+                    specs.push((machine, class, p, bytes));
                 }
             }
         }
     }
-    points
+    specs
+}
+
+/// Runs the static analyzer over the grid, sharded across workers.
+/// Each point is a pure function of its `(machine, op, p, m)` spec, so
+/// reports compute fully parallel; metrics are then recorded serially
+/// in canonical sweep order, keeping the registry byte-identical to a
+/// serial run for any thread count.
+fn sweep(opts: &Opts, metrics: &mut MetricsRegistry) -> Vec<Point> {
+    let specs = sweep_specs(opts);
+    let (reports, _) = harness::map_indexed(
+        specs.len(),
+        opts.threads,
+        |i| {
+            let (machine, class, p, bytes) = specs[i];
+            let s = vendor_schedule(machine, class, p, Rank(0), bytes)
+                .expect("vendor table covers all seven collectives");
+            verify_expected(
+                &s,
+                &Expectations {
+                    algorithm: vendor_algorithm(machine, class),
+                    root: Rank(0),
+                    bytes,
+                },
+            )
+        },
+        &|_, _| {},
+    );
+    specs
+        .into_iter()
+        .zip(reports)
+        .map(|((machine, class, p, bytes), report)| {
+            metrics.counter("schedcheck.points", 1);
+            metrics.counter("schedcheck.findings", report.findings.len() as u64);
+            metrics.observe("schedcheck.depth", report.stats.crit.depth as u64);
+            metrics.observe("schedcheck.messages", report.stats.messages as u64);
+            metrics.observe(
+                "schedcheck.recv_fanin",
+                report.stats.crit.max_recv_fanin as u64,
+            );
+            Point {
+                machine,
+                class,
+                p,
+                bytes,
+                report,
+            }
+        })
+        .collect()
 }
 
 /// Closed-form depth bound as a human-readable formula.

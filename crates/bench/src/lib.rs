@@ -47,13 +47,19 @@ pub struct Cli {
     pub out: Option<String>,
     /// Emit machine-readable JSON instead of the text rendering.
     pub json: bool,
+    /// Worker threads for parallelizable stages (`--threads`; 1 =
+    /// serial, 0 = auto-detect). Output is byte-identical at any value.
+    pub threads: usize,
 }
 
 impl Cli {
-    /// Parses `--quick`, `--csv DIR`, `--out FILE`, and `--json` from
-    /// `std::env::args`.
+    /// Parses `--quick`, `--csv DIR`, `--out FILE`, `--json`, and
+    /// `--threads N` from `std::env::args`.
     pub fn parse() -> Self {
-        let mut cli = Cli::default();
+        let mut cli = Cli {
+            threads: 1,
+            ..Cli::default()
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -61,8 +67,14 @@ impl Cli {
                 "--csv" => cli.csv_dir = args.next(),
                 "--out" => cli.out = args.next(),
                 "--json" => cli.json = true,
+                "--threads" => {
+                    cli.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs a non-negative integer (0 = auto)");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
-                    eprintln!("options: --quick  --csv DIR  --out FILE  --json");
+                    eprintln!("options: --quick  --csv DIR  --out FILE  --json  --threads N");
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown option {other}"),

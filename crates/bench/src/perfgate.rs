@@ -462,9 +462,28 @@ pub fn perf_rows(current: &BenchReport, verdicts: &[Verdict]) -> Vec<report::per
         .collect()
 }
 
-/// Runs the suite: `rounds` interleaved round-robin timing rounds over
-/// `suite`, each round timing one full `measure()` call per point.
+/// Knobs for one [`run_suite`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Interleaved round-robin timing rounds (at least 1).
+    pub rounds: usize,
+    /// Whether the reduced protocol is in use (recorded in the report).
+    pub quick: bool,
+    /// Worker threads for the untimed setup stage (0 = auto-detect).
+    pub threads: usize,
+}
+
+/// Runs the suite: `cfg.rounds` interleaved round-robin timing rounds
+/// over `suite`, each round timing one full `measure()` call per point.
 /// `progress(done, total)` is invoked after each timed call.
+///
+/// `cfg.threads` parallelizes only the *untimed* setup (communicator
+/// construction). The timed calls themselves always run serialized on
+/// the calling thread — one point at a time, rounds interleaved in
+/// suite order — because concurrent wall-clock measurement points would
+/// contend for cores and stop being comparable to the committed
+/// baseline. Pinning the measurement to one worker keeps `--threads N`
+/// report numbers identical in meaning to `--threads 1`.
 ///
 /// # Errors
 ///
@@ -472,21 +491,29 @@ pub fn perf_rows(current: &BenchReport, verdicts: &[Verdict]) -> Vec<report::per
 pub fn run_suite(
     suite: &[SuitePoint],
     protocol: &Protocol,
-    rounds: usize,
-    quick: bool,
+    cfg: SuiteConfig,
     date: String,
     metrics: Json,
     mut progress: impl FnMut(usize, usize),
 ) -> Result<BenchReport, SimMpiError> {
+    let SuiteConfig {
+        rounds,
+        quick,
+        threads,
+    } = cfg;
     let rounds = rounds.max(1);
     let mut walls: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); suite.len()];
     let mut sim_times = vec![0.0f64; suite.len()];
     // Reuse communicators across rounds: building one is cheap, but it
-    // is not what the gate measures.
-    let comms = suite
-        .iter()
-        .map(|pt| pt.machine.communicator(pt.nodes))
-        .collect::<Result<Vec<_>, _>>()?;
+    // is not what the gate measures — so this is the one stage safe to
+    // shard across workers.
+    let (comms, _) = harness::par::run_indexed(
+        suite.len(),
+        threads,
+        |i| suite[i].machine.communicator(suite[i].nodes),
+        &|_, _| {},
+    );
+    let comms = comms?;
     let total = rounds * suite.len();
     let mut done = 0;
     for _round in 0..rounds {
@@ -759,8 +786,11 @@ mod tests {
         let r = run_suite(
             &suite,
             &Protocol::quick(),
-            3,
-            true,
+            SuiteConfig {
+                rounds: 3,
+                quick: true,
+                threads: 2,
+            },
             iso_date(1_754_438_400),
             Json::Null,
             |done, total| {

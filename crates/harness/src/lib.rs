@@ -9,7 +9,11 @@
 //! * [`Protocol`] — every methodology knob, defaulting to the paper's;
 //! * [`measure()`](measure::measure) — one `T(m, p)` data point;
 //! * [`SweepBuilder`] — grids of measurements over machines × operations
-//!   × message lengths × node counts;
+//!   × message lengths × node counts, optionally sharded across worker
+//!   threads ([`SweepBuilder::threads`]) with a deterministic
+//!   canonical-order merge;
+//! * [`par`] — the work-distributing executor behind parallel sweeps
+//!   (`thread::scope` + shared atomic work index, no dependencies);
 //! * [`Dataset`] — series queries used by the figure/table generators.
 //!
 //! # Examples
@@ -28,12 +32,14 @@
 
 pub mod dataset;
 pub mod measure;
+pub mod par;
 pub mod pingpong;
 pub mod protocol;
 pub mod sweep;
 
 pub use dataset::{Dataset, ParseDatasetError, CSV_HEADER};
 pub use measure::{measure, Measurement};
+pub use par::{map_indexed, resolve_threads, run_indexed, ParStats, WorkerStats};
 pub use pingpong::{measure_pingpong, PingPongSample};
 pub use protocol::Protocol;
 pub use sweep::{SweepBuilder, PAPER_MESSAGE_SIZES, PAPER_NODE_COUNTS};

@@ -5,9 +5,16 @@
 //! nodes (§2). [`SweepBuilder`] produces that grid or any sub-grid, runs
 //! the [`measure()`](crate::measure::measure) procedure at every point,
 //! and collects a [`Dataset`].
+//!
+//! Every grid point is a self-contained deterministic simulation, so
+//! sweeps shard across threads ([`SweepBuilder::threads`]): workers
+//! pull whole `(machine, op, p, m)` points from a shared work index and
+//! results are merged back in canonical point order, making the output
+//! byte-identical to a serial run for any thread count.
 
 use crate::dataset::Dataset;
 use crate::measure::measure;
+use crate::par::{self, ParStats};
 use crate::protocol::Protocol;
 use mpisim::{Machine, OpClass, SimMpiError};
 
@@ -16,6 +23,15 @@ pub const PAPER_MESSAGE_SIZES: [u32; 8] = [4, 16, 64, 256, 1_024, 4_096, 16_384,
 
 /// The paper's machine-size grid: 2 to 128 nodes in powers of two.
 pub const PAPER_NODE_COUNTS: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// One grid point in canonical sweep order.
+#[derive(Debug, Clone)]
+struct PointSpec {
+    machine: Machine,
+    op: OpClass,
+    bytes: u32,
+    nodes: usize,
+}
 
 /// Builds and runs measurement sweeps.
 ///
@@ -42,6 +58,7 @@ pub struct SweepBuilder {
     sizes: Vec<u32>,
     nodes: Vec<usize>,
     protocol: Protocol,
+    threads: usize,
 }
 
 impl Default for SweepBuilder {
@@ -60,6 +77,7 @@ impl SweepBuilder {
             sizes: PAPER_MESSAGE_SIZES.to_vec(),
             nodes: PAPER_NODE_COUNTS.to_vec(),
             protocol: Protocol::paper(),
+            threads: 1,
         }
     }
 
@@ -93,48 +111,26 @@ impl SweepBuilder {
         self
     }
 
-    /// Number of grid points this sweep will measure (after per-machine
-    /// node caps).
-    pub fn points(&self) -> usize {
-        let barrier = self.ops.contains(&OpClass::Barrier) && !self.sizes.is_empty();
-        // Duplicate sizes still measure each non-barrier op once per entry,
-        // matching the run loop.
-        let other_ops = self.ops.iter().filter(|&&o| o != OpClass::Barrier).count();
-        let per_partition = other_ops * self.sizes.len() + usize::from(barrier);
-        self.machines
-            .iter()
-            .map(|mach| {
-                let valid_nodes = self
-                    .nodes
-                    .iter()
-                    .filter(|&&p| p <= mach.spec().max_nodes)
-                    .count();
-                valid_nodes * per_partition
-            })
-            .sum()
+    /// Sets the worker-thread count: `1` (the default) runs serially on
+    /// the calling thread, `0` auto-detects the host's parallelism, any
+    /// other value spawns exactly that many workers. The resulting
+    /// [`Dataset`] is byte-identical for every setting — points merge
+    /// in canonical grid order regardless of scheduling.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
-    /// Runs the sweep, invoking `progress` after each point.
-    ///
-    /// Node counts beyond a machine's measured maximum are skipped (the
-    /// paper reports the T3D only to 64 nodes for the same reason).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first measurement failure.
-    pub fn run_with_progress(
-        &self,
-        mut progress: impl FnMut(usize, usize),
-    ) -> Result<Dataset, SimMpiError> {
-        let total = self.points();
-        let mut data = Dataset::new();
-        let mut done = 0;
+    /// The grid in canonical order: machine → nodes → op → size, with
+    /// barrier measured once per `(machine, p)` and node counts beyond
+    /// a machine's maximum skipped.
+    fn point_specs(&self) -> Vec<PointSpec> {
+        let mut specs = Vec::new();
         for machine in &self.machines {
             for &p in &self.nodes {
                 if p > machine.spec().max_nodes {
                     continue;
                 }
-                let comm = machine.communicator(p)?;
                 for &op in &self.ops {
                     // Barrier ignores the message length: measure it once
                     // per (machine, p), regardless of the size grid.
@@ -146,15 +142,65 @@ impl SweepBuilder {
                             }
                             barrier_done = true;
                         }
-                        let bytes = if op == OpClass::Barrier { 0 } else { m };
-                        data.push(measure(&comm, op, bytes, &self.protocol)?);
-                        done += 1;
-                        progress(done, total);
+                        specs.push(PointSpec {
+                            machine: machine.clone(),
+                            op,
+                            bytes: if op == OpClass::Barrier { 0 } else { m },
+                            nodes: p,
+                        });
                     }
                 }
             }
         }
-        Ok(data)
+        specs
+    }
+
+    /// Number of grid points this sweep will measure (after per-machine
+    /// node caps).
+    pub fn points(&self) -> usize {
+        self.point_specs().len()
+    }
+
+    /// Runs the sweep and returns the dataset plus the executor's
+    /// wall-clock/utilization statistics.
+    fn run_collect(
+        &self,
+        progress: &(impl Fn(usize, usize) + Sync),
+    ) -> Result<(Dataset, ParStats), SimMpiError> {
+        let specs = self.point_specs();
+        let (res, stats) = par::run_indexed(
+            specs.len(),
+            self.threads,
+            |i| {
+                let s = &specs[i];
+                let comm = s.machine.communicator(s.nodes)?;
+                measure(&comm, s.op, s.bytes, &self.protocol)
+            },
+            progress,
+        );
+        res.map(|points| (points.into_iter().collect(), stats))
+    }
+
+    /// Runs the sweep, invoking `progress(done, total)` once per
+    /// completed `(machine, op, p, m)` point — per-point granularity,
+    /// so long points (e.g. a 64-node alltoall) advance the count as
+    /// soon as they finish instead of only at `(machine, p)` group
+    /// boundaries. Under threads, delivery is serialized and `done` is
+    /// strictly monotonic; completion order may differ from canonical
+    /// order, but the returned [`Dataset`] never does.
+    ///
+    /// Node counts beyond a machine's measured maximum are skipped (the
+    /// paper reports the T3D only to 64 nodes for the same reason).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the measurement failure with the smallest canonical
+    /// point index (serial runs stop at the first failure).
+    pub fn run_with_progress(
+        &self,
+        progress: impl Fn(usize, usize) + Send + Sync,
+    ) -> Result<Dataset, SimMpiError> {
+        self.run_collect(&progress).map(|(data, _)| data)
     }
 
     /// Runs the sweep silently.
@@ -206,23 +252,25 @@ impl SweepBuilder {
     /// measured per machine and per operation, the distribution of
     /// measured times, and host wall-clock metering — per-point
     /// wall-clock histogram plus quantiles (`sweep.wall_ns` /
-    /// `sweep.wall.*`), total wall time, and measured points per second.
+    /// `sweep.wall.*`), total wall time, measured points per second,
+    /// and the parallel executor's worker-utilization statistics
+    /// (`sweep.par.*`: thread count, busy time, utilization, per-worker
+    /// point/busy distributions). Per-worker wall numbers aggregate
+    /// exactly once regardless of thread count; only the `sweep.par.*`
+    /// and wall-clock values vary with threading — the dataset and the
+    /// coverage counters never do.
     ///
     /// # Errors
     ///
     /// Propagates the first measurement failure.
     pub fn run_metered(&self, reg: &mut obs::MetricsRegistry) -> Result<Dataset, SimMpiError> {
+        let (data, stats) = self.run_collect(&|_, _| {})?;
         let mut wall = obs::QuantileSketch::new();
-        let start = std::time::Instant::now();
-        let mut last = start;
-        let data = self.run_with_progress(|_, _| {
-            let now = std::time::Instant::now();
-            let point_ns = now.duration_since(last).as_nanos();
-            last = now;
-            reg.observe("sweep.wall_ns", u64::try_from(point_ns).unwrap_or(u64::MAX));
+        for &point_ns in &stats.point_ns {
+            reg.observe("sweep.wall_ns", point_ns);
             wall.record(point_ns as f64);
-        })?;
-        let total_ns = start.elapsed().as_nanos() as f64;
+        }
+        let total_ns = stats.wall_ns as f64;
         reg.counter("sweep.points", data.len() as u64);
         reg.gauge("sweep.wall.total_ns", total_ns);
         if !data.is_empty() && total_ns > 0.0 {
@@ -239,6 +287,7 @@ impl SweepBuilder {
             );
             reg.gauge("sweep.wall.point_max_ns", wall.max().unwrap_or(0.0));
         }
+        stats.export_metrics(reg);
         for m in data.iter() {
             reg.counter(format!("sweep.points.{}", m.machine), 1);
             reg.counter(format!("sweep.points.op.{}", m.op.paper_name()), 1);
@@ -251,6 +300,8 @@ impl SweepBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn small_sweep_produces_grid() {
@@ -300,16 +351,16 @@ mod tests {
             .message_sizes([4, 4, 16])
             .node_counts([2]);
         assert_eq!(b.points(), 1);
-        let mut calls = 0;
+        let calls = AtomicUsize::new(0);
         let data = b
             .protocol(Protocol::quick())
             .run_with_progress(|done, total| {
-                calls += 1;
+                calls.fetch_add(1, Ordering::Relaxed);
                 assert!(done <= total, "{done} > {total}");
             })
             .unwrap();
         assert_eq!(data.len(), 1);
-        assert_eq!(calls, 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -333,6 +384,8 @@ mod tests {
                 > 0.0
         );
         assert!(reg.get("sweep.wall.point_p50_ns").is_some());
+        assert_eq!(reg.get("sweep.par.threads").unwrap().as_f64(), Some(1.0));
+        assert!(reg.get("sweep.par.utilization").is_some());
         assert!(reg.get("sweep.points.Cray T3D").is_some());
         assert!(
             reg.get("sweep.points.op.broadcast").is_some() || {
@@ -348,7 +401,7 @@ mod tests {
 
     #[test]
     fn progress_reported() {
-        let mut calls = 0;
+        let calls = AtomicUsize::new(0);
         SweepBuilder::new()
             .machines([Machine::t3d()])
             .ops([OpClass::Scan])
@@ -356,10 +409,67 @@ mod tests {
             .node_counts([2, 4])
             .protocol(Protocol::quick())
             .run_with_progress(|done, total| {
-                calls += 1;
+                calls.fetch_add(1, Ordering::Relaxed);
                 assert!(done <= total);
             })
             .unwrap();
-        assert_eq!(calls, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial_byte_for_byte() {
+        let base = SweepBuilder::new()
+            .machines([Machine::sp2(), Machine::t3d()])
+            .ops([OpClass::Bcast, OpClass::Alltoall, OpClass::Barrier])
+            .message_sizes([64, 1024])
+            .node_counts([2, 8])
+            .protocol(Protocol::quick());
+        let serial = base.clone().threads(1).run().unwrap();
+        for threads in [0, 2, 4, 8] {
+            let par = base.clone().threads(threads).run().unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(par.to_csv(), serial.to_csv(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_progress_per_point_and_monotonic() {
+        let b = SweepBuilder::new()
+            .machines([Machine::t3d()])
+            .ops([OpClass::Bcast, OpClass::Reduce])
+            .message_sizes([16, 256])
+            .node_counts([2, 4])
+            .protocol(Protocol::quick())
+            .threads(4);
+        let total = b.points();
+        assert_eq!(total, 8);
+        let seen = Mutex::new(Vec::new());
+        b.run_with_progress(|done, t| seen.lock().unwrap().push((done, t)))
+            .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), total, "one callback per point");
+        for (k, &(done, t)) in seen.iter().enumerate() {
+            assert_eq!(done, k + 1, "strictly monotonic completed-count");
+            assert_eq!(t, total);
+        }
+    }
+
+    #[test]
+    fn metered_parallel_sweep_reports_worker_stats() {
+        let mut reg = obs::MetricsRegistry::new();
+        let data = SweepBuilder::new()
+            .machines([Machine::paragon()])
+            .ops([OpClass::Scatter])
+            .message_sizes([16, 64, 256, 1024])
+            .node_counts([2, 4])
+            .protocol(Protocol::quick())
+            .threads(2)
+            .run_metered(&mut reg)
+            .unwrap();
+        assert_eq!(data.len(), 8);
+        assert_eq!(reg.get("sweep.par.threads").unwrap().as_f64(), Some(2.0));
+        let util = reg.get("sweep.par.utilization").unwrap().as_f64().unwrap();
+        assert!(util > 0.0, "workers did measurable work: {util}");
+        assert_eq!(reg.get("sweep.points").unwrap().as_f64(), Some(8.0));
     }
 }

@@ -509,6 +509,20 @@ impl Communicator {
     }
 }
 
+/// The harness's parallel sweep executor shards `(machine, op, p, m)`
+/// points across worker threads, each building its own [`Communicator`]
+/// and running independent simulations. That only holds if the types it
+/// moves across threads stay plain data; this compile-time assertion
+/// turns an accidental `Rc`/`RefCell`/raw-pointer addition into a build
+/// error instead of a distant trait-bound failure in `harness::par`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<Communicator>();
+    assert_send_sync::<RunOptions>();
+    assert_send_sync::<SimMpiError>();
+};
+
 #[cfg(test)]
 mod tests {
     //! These tests return `Result<(), SimMpiError>` and propagate

@@ -1,0 +1,94 @@
+//! Property tests for the parallel sweep executor: for any sub-grid,
+//! seed, and worker count, a parallel sweep must produce exactly the
+//! dataset the serial sweep produces — same points, same order, same
+//! bytes — and progress callbacks must report every point exactly once
+//! with a strictly increasing completed count.
+
+use desim::check::forall;
+use harness::{Protocol, SweepBuilder};
+use mpisim::{Machine, OpClass};
+use std::sync::Mutex;
+
+/// A random sub-grid of the paper's measurement space: 1–3 machines,
+/// 1–3 operations, 1–2 message sizes, 1–2 node counts, random seed.
+fn random_sweep(g: &mut desim::check::Gen) -> (SweepBuilder, usize) {
+    let mut machines = vec![Machine::sp2(), Machine::t3d(), Machine::paragon()];
+    let keep = g.usize(1, 3);
+    while machines.len() > keep {
+        let drop = g.usize(0, machines.len() - 1);
+        machines.remove(drop);
+    }
+
+    let mut ops = Vec::new();
+    for _ in 0..g.usize(1, 3) {
+        let op = *g.pick(&OpClass::COLLECTIVES);
+        if !ops.contains(&op) {
+            ops.push(op);
+        }
+    }
+
+    let sizes: Vec<u32> = (0..g.usize(1, 2)).map(|_| 1 << g.usize(2, 12)).collect();
+    let nodes: Vec<usize> = (0..g.usize(1, 2)).map(|_| 1 << g.usize(1, 4)).collect();
+    let seed = g.u64(0, u64::MAX / 2);
+
+    let builder = SweepBuilder::new()
+        .machines(machines)
+        .ops(ops)
+        .message_sizes(sizes)
+        .node_counts(nodes)
+        .protocol(Protocol::quick().with_seed(seed));
+    let threads = g.usize(2, 8);
+    (builder, threads)
+}
+
+#[test]
+fn parallel_sweep_equals_serial_for_any_grid_and_thread_count() {
+    forall("parallel_equals_serial", 12, |g| {
+        let (builder, threads) = random_sweep(g);
+        let serial = builder.clone().threads(1).run().expect("serial sweep");
+        let parallel = builder
+            .clone()
+            .threads(threads)
+            .run()
+            .expect("parallel sweep");
+        assert_eq!(
+            serial, parallel,
+            "dataset must not depend on worker count (threads={threads})"
+        );
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "serialized bytes must be identical (threads={threads})"
+        );
+    });
+}
+
+#[test]
+fn parallel_progress_reports_each_point_once_and_monotonically() {
+    forall("progress_exactly_once_monotonic", 8, |g| {
+        let (builder, threads) = random_sweep(g);
+        let builder = builder.threads(threads);
+        let expected = builder.points();
+        let calls: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        builder
+            .run_with_progress(|done, total| {
+                calls.lock().expect("progress lock").push((done, total));
+            })
+            .expect("sweep");
+
+        let calls = calls.into_inner().expect("progress lock");
+        assert_eq!(
+            calls.len(),
+            expected,
+            "one callback per (machine, op, p, m) point (threads={threads})"
+        );
+        for (i, &(done, total)) in calls.iter().enumerate() {
+            assert_eq!(total, expected, "total is the full point count");
+            assert_eq!(
+                done,
+                i + 1,
+                "completed count increases by exactly one per delivery"
+            );
+        }
+    });
+}
