@@ -14,6 +14,7 @@ use std::collections::BinaryHeap;
 
 use crate::calqueue::CalendarQueue;
 use crate::event::{Event, EventStats, EventWorld, TypedEvent};
+use crate::provenance::{Provenance, ROOT};
 use crate::time::{SimDuration, SimTime};
 
 /// A dynamic event callback: receives the scheduling handle and the world.
@@ -59,6 +60,12 @@ pub struct Scheduler<W> {
     slab: Vec<Option<EventFn<W>>>,
     slab_free: Vec<u32>,
     stats: EventStats,
+    /// Causal-parent log, `None` (the default) unless the engine was
+    /// built [`Engine::with_provenance`] — one branch per push when off.
+    prov: Option<Box<Provenance>>,
+    /// Sequence number of the event currently being dispatched, or
+    /// [`ROOT`] outside dispatch. Only maintained when `prov` is on.
+    current: u64,
 }
 
 impl<W> Scheduler<W> {
@@ -159,6 +166,11 @@ impl<W> Scheduler<W> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        if let Some(p) = &mut self.prov {
+            // Records are indexed by seq: seqs are assigned here, in push
+            // order, so the Vec index and the sequence number coincide.
+            p.record(self.current, at);
+        }
         self.pending.push(Scheduled { at, seq, ev });
     }
 }
@@ -375,6 +387,8 @@ impl<W> Engine<W> {
                 slab: Vec::new(),
                 slab_free: Vec::new(),
                 stats: EventStats::default(),
+                prov: None,
+                current: ROOT,
             },
             fired: 0,
             event_limit: Self::DEFAULT_EVENT_LIMIT,
@@ -403,6 +417,21 @@ impl<W> Engine<W> {
     /// [`Engine::with_profiling`].
     pub fn profile(&self) -> Option<&EngineProfile> {
         self.prof.as_deref()
+    }
+
+    /// Enables causal provenance recording: every scheduled event gets a
+    /// compact parent edge (the seq of the event firing when it was
+    /// scheduled). Like profiling, this never perturbs the simulation —
+    /// timing, ordering, and [`EventStats`] are identical on and off.
+    pub fn with_provenance(mut self) -> Self {
+        self.scheduler.prov = Some(Box::default());
+        self
+    }
+
+    /// The collected causal-parent log; `None` unless built
+    /// [`Engine::with_provenance`].
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.scheduler.prov.as_deref()
     }
 
     /// Current simulated time.
@@ -447,6 +476,9 @@ impl<W> Engine<W> {
         }
         if let Some(prof) = &self.prof {
             prof.export_metrics(reg);
+        }
+        if let Some(prov) = &self.scheduler.prov {
+            prov.export_metrics(reg);
         }
     }
 
@@ -554,6 +586,10 @@ impl<W: EventWorld> Engine<W> {
             }
         }
         self.scheduler.now = ev.at;
+        if let Some(p) = &mut self.scheduler.prov {
+            p.mark_fired(ev.seq);
+            self.scheduler.current = ev.seq;
+        }
         match ev.ev {
             Event::Typed(TypedEvent::Continuation { slot }) => {
                 let f = self.scheduler.take_continuation(slot);
@@ -561,6 +597,11 @@ impl<W: EventWorld> Engine<W> {
             }
             Event::Typed(t) => world.dispatch(&mut self.scheduler, t),
             Event::Dyn(f) => f(&mut self.scheduler, world),
+        }
+        if self.scheduler.prov.is_some() {
+            // Anything scheduled between steps (from outside dispatch)
+            // is a fresh root stimulus.
+            self.scheduler.current = ROOT;
         }
         self.drain_pending();
         true

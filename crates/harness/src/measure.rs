@@ -127,6 +127,7 @@ pub fn measure(
                 cpu_noise,
                 record_trace: false,
                 profile: false,
+                provenance: false,
             },
         )?;
 

@@ -22,6 +22,10 @@ pub struct RunOptions {
     /// queue depth); surfaced via [`crate::exec::Observed`] on observed
     /// runs. Zero cost when off.
     pub profile: bool,
+    /// Record causal event provenance; surfaced via
+    /// [`crate::exec::Observed::provenance`] on observed runs. Zero cost
+    /// when off.
+    pub provenance: bool,
 }
 
 /// How a communicator's ranks map onto the machine.
@@ -333,6 +337,7 @@ impl Communicator {
             placement: self.machine.placement(),
             cpu_noise: options.cpu_noise,
             profile: options.profile,
+            provenance: options.provenance,
             group: match &self.scope {
                 CommScope::Whole => None,
                 CommScope::Group {

@@ -65,6 +65,10 @@ pub struct ExecConfig {
     /// [`desim::EngineProfile`] is returned via [`Observed`] on observed
     /// runs.
     pub profile: bool,
+    /// Record causal event provenance ([`desim::Engine::with_provenance`]):
+    /// one compact parent edge per event, returned via
+    /// [`Observed::provenance`] on observed runs. Zero cost when off.
+    pub provenance: bool,
 }
 
 /// Background-interference model: per-rank CPU slowdown.
@@ -90,8 +94,23 @@ pub struct MessageTrace {
     /// Instant the sender's CPU finished its per-message overhead and
     /// handed the payload to the network.
     pub posted: SimTime,
+    /// Instant the sending CPU was released (payload copy / engine setup
+    /// done) — the start of the message's wire journey.
+    pub wire_start: SimTime,
     /// Instant the full payload arrived at the destination node.
     pub delivered: SimTime,
+    /// Time the message queued behind its node's injection engine.
+    pub inject_wait: SimDuration,
+    /// Time the message queued behind busy links (contention).
+    pub link_wait: SimDuration,
+}
+
+impl MessageTrace {
+    /// True when the message never waited for a busy injection engine or
+    /// link — see [`netmodel::SendTiming::uncontended`].
+    pub fn uncontended(&self) -> bool {
+        self.inject_wait == SimDuration::ZERO && self.link_wait == SimDuration::ZERO
+    }
 }
 
 /// Where one stretch of a rank's time went — the label on a
@@ -147,6 +166,11 @@ pub struct PhaseSpan {
     pub start: SimTime,
     /// Span end instant.
     pub end: SimTime,
+    /// Who ended a blocked span: the sending rank for [`PhaseKind::RecvWait`],
+    /// the last-arriving (triggering) rank for [`PhaseKind::BarrierWait`],
+    /// `None` for CPU-busy spans. This is the causal edge the
+    /// critical-path walker follows across ranks.
+    pub woke_by: Option<u32>,
 }
 
 /// Always-collected per-rank split of execution time. The two buckets
@@ -183,6 +207,8 @@ pub struct Observed {
     pub fifo_commits: u64,
     /// Engine self-profile, when [`ExecConfig::profile`] was set.
     pub engine_profile: Option<desim::EngineProfile>,
+    /// Causal event-parent log, when [`ExecConfig::provenance`] was set.
+    pub provenance: Option<desim::Provenance>,
 }
 
 /// The outcome of executing a schedule sequence.
@@ -278,6 +304,10 @@ struct RankState {
     /// Set while the rank is parked (recv wait / barrier wait): when the
     /// wait began and what kind it is. Taken at the top of `advance`.
     wait_since: Option<(SimTime, PhaseKind)>,
+    /// Which rank's action ends the current park (message source or
+    /// barrier trigger). Set by `deliver` / the barrier release and
+    /// consumed together with `wait_since`.
+    wake_cause: Option<u32>,
 }
 
 #[derive(Default)]
@@ -434,6 +464,7 @@ fn execute_inner(
             sw: SimDuration::ZERO,
             blocked: SimDuration::ZERO,
             wait_since: None,
+            wake_cause: None,
         })
         .collect();
     for (si, seg) in segments.iter().enumerate() {
@@ -459,11 +490,13 @@ fn execute_inner(
     if observe {
         world.net.enable_instrumentation();
     }
-    let mut engine: Engine<World> = if cfg.profile {
-        Engine::new().with_profiling()
-    } else {
-        Engine::new()
-    };
+    let mut engine: Engine<World> = Engine::new();
+    if cfg.profile {
+        engine = engine.with_profiling();
+    }
+    if cfg.provenance {
+        engine = engine.with_provenance();
+    }
     for (r, &t) in start.iter().enumerate() {
         engine.post_at(t, TypedEvent::RankResume { rank: r as u32 });
     }
@@ -502,6 +535,7 @@ fn execute_inner(
         fifo_updates,
         fifo_commits,
         engine_profile: engine.profile().cloned(),
+        provenance: engine.provenance().cloned(),
     });
     let phases = world
         .ranks
@@ -534,6 +568,18 @@ fn resume(r: usize) -> TypedEvent {
 
 /// Records an attributed span when running observed; free otherwise.
 fn push_span(w: &mut World, rank: usize, kind: PhaseKind, start: SimTime, end: SimTime) {
+    push_span_woke(w, rank, kind, start, end, None);
+}
+
+/// Like [`push_span`], carrying the causal wake source for blocked spans.
+fn push_span_woke(
+    w: &mut World,
+    rank: usize,
+    kind: PhaseKind,
+    start: SimTime,
+    end: SimTime,
+    woke_by: Option<u32>,
+) {
     if let Some(spans) = &mut w.spans {
         if end > start {
             spans.push(PhaseSpan {
@@ -541,6 +587,7 @@ fn push_span(w: &mut World, rank: usize, kind: PhaseKind, start: SimTime, end: S
                 kind,
                 start,
                 end,
+                woke_by,
             });
         }
     }
@@ -563,8 +610,9 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
     // If the rank was parked (recv wait / barrier wait), the wakeup that
     // runs this advance ends the wait: attribute the idle stretch.
     if let Some((t0, kind)) = w.ranks[r].wait_since.take() {
+        let woke = w.ranks[r].wake_cause.take();
         w.ranks[r].blocked += now.since(t0);
-        push_span(w, r, kind, t0, now);
+        push_span_woke(w, r, kind, t0, now, woke);
     }
     loop {
         let Some(&item) = w.ranks[r].tape.get(w.ranks[r].pc) else {
@@ -616,7 +664,14 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                             let begin = now.max(arrived);
                             w.ranks[r].blocked += begin.since(now);
                             w.ranks[r].sw += o;
-                            push_span(w, r, PhaseKind::RecvWait, now, begin);
+                            push_span_woke(
+                                w,
+                                r,
+                                PhaseKind::RecvWait,
+                                now,
+                                begin,
+                                Some(from.0 as u32),
+                            );
                             push_span(w, r, PhaseKind::RecvOverhead, begin, begin + o);
                             s.post_at(begin + o, resume(r));
                         }
@@ -649,6 +704,10 @@ fn advance(s: &mut Scheduler<World>, w: &mut World, r: usize) {
                             .unwrap_or(SimDuration::ZERO);
                         let release = now + latency;
                         for waiter in std::mem::take(&mut w.barrier.waiting) {
+                            // The last arrival (this rank) triggers the
+                            // release: it is the causal wake source for
+                            // every waiter, including itself.
+                            w.ranks[waiter].wake_cause = Some(r as u32);
                             s.post_at(release, resume(waiter));
                         }
                     }
@@ -683,7 +742,10 @@ fn post_send(s: &mut Scheduler<World>, w: &mut World, r: usize, step: usize) {
                 bytes,
                 class,
                 posted,
+                wire_start: t.cpu_release,
                 delivered: t.delivered,
+                inject_wait: t.inject_wait,
+                link_wait: t.link_wait,
             });
         } else {
             w.dropped += 1;
@@ -706,6 +768,7 @@ fn deliver(s: &mut Scheduler<World>, w: &mut World, src: usize, dst: usize) {
     w.ranks[dst].mailbox[src].push_back(now);
     if w.ranks[dst].blocked_on == Some(src) {
         w.ranks[dst].blocked_on = None;
+        w.ranks[dst].wake_cause = Some(src as u32);
         advance(s, w, dst);
     }
 }
@@ -1011,23 +1074,72 @@ mod tests {
         assert!(obs2.engine_profile.is_none());
     }
 
-    /// Spot-check of the self-profiling overhead claim (run manually):
+    #[test]
+    fn provenance_run_collects_chain_without_perturbing() {
+        let spec = t3d();
+        let s = collectives::alltoall::pairwise(16, 2048);
+        let plain = run(&spec, &s);
+        let (out, obs) = execute_observed(
+            &spec,
+            &[&s],
+            &ExecConfig {
+                provenance: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            out.finish, plain.finish,
+            "provenance must not change timing"
+        );
+        assert_eq!(out.events, plain.events);
+        let prov = obs.provenance.expect("provenance collected");
+        assert_eq!(prov.len() as u64, out.events, "one record per event");
+        // The final completion event chains back through real causality.
+        let chain = prov.chain(prov.last_fired().expect("events fired"));
+        assert!(chain.len() > 2, "chain depth {}", chain.len());
+    }
+
+    #[test]
+    fn provenance_off_allocates_nothing_extra() {
+        // The disabled provenance path must leave the event-allocation
+        // profile byte-identical: same EventStats, zero dynamic events.
+        let spec = t3d();
+        let s = collectives::alltoall::pairwise(16, 2048);
+        let observe = |provenance: bool| {
+            let cfg = ExecConfig {
+                provenance,
+                ..ExecConfig::default()
+            };
+            execute_observed(&spec, &[&s], &cfg).unwrap().1
+        };
+        let off = observe(false);
+        let on = observe(true);
+        assert!(off.provenance.is_none());
+        assert_eq!(off.event_stats, on.event_stats);
+        assert_eq!(off.event_stats.dynamic, 0, "hot path stays allocation-free");
+        assert_eq!(off.event_stats.continuations, 0);
+    }
+
+    /// Spot-check of the self-profiling and provenance overhead claims
+    /// (run manually):
     ///
     /// ```text
     /// cargo test -p mpisim --release -- --ignored --nocapture profiling_overhead
     /// ```
     ///
-    /// Times a 64-node alltoall repeatedly with profiling off and on and
-    /// prints the wall-clock ratio; the enabled path should stay within
-    /// a couple percent of the disabled one.
+    /// Times a 64-node alltoall repeatedly with instrumentation off and
+    /// on and prints the wall-clock ratios; each enabled path should stay
+    /// within a couple percent of the disabled one.
     #[test]
     #[ignore = "wall-clock measurement; run manually in release mode"]
     fn profiling_overhead_spotcheck() {
         let spec = t3d();
         let s = collectives::alltoall::pairwise(64, 4096);
-        let time = |profile: bool| {
+        let time = |profile: bool, provenance: bool| {
             let cfg = ExecConfig {
                 profile,
+                provenance,
                 ..ExecConfig::default()
             };
             // Warmup, then best-of-3 timing batches to shed scheduler noise.
@@ -1045,18 +1157,27 @@ mod tests {
                 })
                 .fold(f64::INFINITY, f64::min)
         };
-        let off = time(false);
-        let on = time(true);
+        let off = time(false, false);
+        let prof = time(true, false);
+        let prov = time(false, true);
         println!(
-            "profiling off {:.3} ms/run, on {:.3} ms/run, overhead {:+.2}%",
+            "instrumentation off {:.3} ms/run; profiling on {:.3} ms/run ({:+.2}%); \
+             provenance on {:.3} ms/run ({:+.2}%)",
             off * 1e3,
-            on * 1e3,
-            (on / off - 1.0) * 100.0
+            prof * 1e3,
+            (prof / off - 1.0) * 100.0,
+            prov * 1e3,
+            (prov / off - 1.0) * 100.0
         );
         assert!(
-            on / off < 1.10,
-            "overhead {:.1}% >= 10%",
-            (on / off - 1.0) * 100.0
+            prof / off < 1.10,
+            "profiling overhead {:.1}% >= 10%",
+            (prof / off - 1.0) * 100.0
+        );
+        assert!(
+            prov / off < 1.10,
+            "provenance overhead {:.1}% >= 10%",
+            (prov / off - 1.0) * 100.0
         );
     }
 

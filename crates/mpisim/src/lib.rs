@@ -27,6 +27,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod comm;
+pub mod critpath;
 pub mod datatype;
 pub mod error;
 pub mod exec;
@@ -36,6 +37,7 @@ pub mod placement;
 
 pub use collectives::{Rank, Schedule, Step};
 pub use comm::{CollectiveOutcome, Communicator, RunOptions};
+pub use critpath::{analyze, CritPath};
 pub use datatype::Datatype;
 pub use error::SimMpiError;
 pub use exec::{

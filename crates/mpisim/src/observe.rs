@@ -19,9 +19,14 @@
 //! # Ok::<(), mpisim::SimMpiError>(())
 //! ```
 
+use crate::critpath::CritPath;
 use crate::exec::{ExecOutcome, Observed};
 use desim::SimTime;
 use obs::{ChromeTrace, Json, MetricsRegistry, RunManifest};
+
+/// Flow-event id base for critical-path arrows, disjoint from the
+/// message-flow ids `0..trace.len()`.
+const CRITPATH_FLOW_BASE: u64 = 1 << 32;
 
 fn us(t: SimTime) -> f64 {
     t.as_micros_f64()
@@ -59,6 +64,46 @@ pub fn chrome_trace(machine: &str, out: &ExecOutcome, observed: &Observed) -> Ch
         let name = format!("seg {si} done");
         for (r, &f) in seg.iter().enumerate() {
             t.instant(0, r as u32, &name, us(f));
+        }
+    }
+    t
+}
+
+/// Like [`chrome_trace`], plus a dedicated "critical path" track (tid
+/// one past the last rank) carrying the reconstructed path tiles named
+/// `critpath.<category>`, with flow arrows at every track switch so
+/// Perfetto draws the causal chain across ranks.
+pub fn chrome_trace_with_critpath(
+    machine: &str,
+    out: &ExecOutcome,
+    observed: &Observed,
+    cp: &CritPath,
+) -> ChromeTrace {
+    let mut t = chrome_trace(machine, out, observed);
+    let path_tid = out.phases.len() as u32;
+    t.thread_name(0, path_tid, "critical path");
+    let us_ns = |ns: u64| ns as f64 / 1_000.0;
+    for seg in &cp.decomposition.segments {
+        t.complete(
+            0,
+            path_tid,
+            &format!("critpath.{}", seg.blame.key()),
+            us_ns(seg.start_ns),
+            us_ns(seg.end_ns),
+            &[("rank", &seg.track.to_string())],
+        );
+    }
+    // Segments are newest-first; an arrow from each older segment's end
+    // to its successor's start whenever the path hops ranks.
+    for (i, w) in cp.decomposition.segments.windows(2).enumerate() {
+        let (newer, older) = (w[0], w[1]);
+        if newer.track != older.track {
+            t.flow(
+                "critpath",
+                CRITPATH_FLOW_BASE + i as u64,
+                (0, older.track, us_ns(older.end_ns)),
+                (0, newer.track, us_ns(newer.start_ns)),
+            );
         }
     }
     t
@@ -156,6 +201,39 @@ mod tests {
         assert_eq!(spans, obs.spans.len());
         assert_eq!(flows, 2 * out.trace.len());
         assert!(spans > 0 && flows > 0);
+    }
+
+    #[test]
+    fn critpath_trace_adds_path_track_and_arrows() {
+        let (out, obs) = observed_bcast();
+        let cp = crate::critpath::analyze(&out, &obs);
+        let plain = chrome_trace("t3d", &out, &obs);
+        let trace = chrome_trace_with_critpath("t3d", &out, &obs, &cp);
+        let parsed = validate(&trace.to_json_string()).expect("valid JSON");
+        let events = parsed.as_array().expect("array container");
+        // Everything from the plain trace, plus one span per path
+        // segment, the track name, and a flow pair per rank hop.
+        assert!(events.len() > plain.len() + cp.decomposition.segments.len());
+        let hops = cp
+            .decomposition
+            .segments
+            .windows(2)
+            .filter(|w| w[0].track != w[1].track)
+            .count();
+        assert!(hops > 0, "a 64-rank bcast path crosses ranks");
+        assert_eq!(
+            events.len(),
+            plain.len() + 1 + cp.decomposition.segments.len() + 2 * hops
+        );
+        let path_spans = events
+            .iter()
+            .filter(|ev| {
+                ev.get("name")
+                    .and_then(|j| j.as_str())
+                    .is_some_and(|n| n.starts_with("critpath."))
+            })
+            .count();
+        assert_eq!(path_spans, cp.decomposition.segments.len());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct SendTiming {
     /// When the full payload has arrived at the destination node (before
     /// receive-side software costs).
     pub delivered: SimTime,
+    /// Total time this message's segments queued behind the injection
+    /// engine (FIFO occupancy wait). Zero for local sends.
+    pub inject_wait: SimDuration,
+    /// Total time this message's segments queued behind busy links
+    /// (contention wait). Zero for local sends.
+    pub link_wait: SimDuration,
 }
 
 impl SendTiming {
@@ -56,6 +62,15 @@ impl SendTiming {
             self.cpu_release,
             TypedEvent::RankResume { rank: actor as u32 },
         )
+    }
+
+    /// True when the message never waited for a busy injection engine or
+    /// link: its wire journey was provably free of contention, so an
+    /// event-elision fast path could have predicted its delivery time
+    /// from the route alone. Occupancy commits in event-time order, so
+    /// the predicate is exact, not heuristic.
+    pub fn uncontended(&self) -> bool {
+        self.inject_wait == SimDuration::ZERO && self.link_wait == SimDuration::ZERO
     }
 }
 
@@ -385,6 +400,8 @@ impl NetState {
             return SendTiming {
                 cpu_release,
                 delivered: engine_ready,
+                inject_wait: SimDuration::ZERO,
+                link_wait: SimDuration::ZERO,
             };
         }
 
@@ -517,6 +534,8 @@ impl NetState {
         SendTiming {
             cpu_release,
             delivered,
+            inject_wait: SimDuration::from_nanos(inject_queue_ns),
+            link_wait: SimDuration::from_nanos(link_queue_ns),
         }
     }
 }
@@ -929,6 +948,68 @@ mod tests {
         assert_eq!(reg.get("net.messages").unwrap().as_f64(), Some(3.0));
         assert!(reg.get("net.class.bcast.messages").is_some());
         assert!(reg.get("net.queue.link_wait_ns").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn blame_waits_zero_when_uncontended() {
+        let s = spec(SendEngine::Cpu);
+        let mut net = NetState::new(&s, 4);
+        let t = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        assert_eq!(t.inject_wait, SimDuration::ZERO);
+        assert_eq!(t.link_wait, SimDuration::ZERO);
+        assert!(t.uncontended());
+        // Local sends never touch the wire.
+        let l = net.send(&s, OpClass::PointToPoint, NodeId(2), NodeId(2), 100, T0);
+        assert!(l.uncontended());
+    }
+
+    #[test]
+    fn blame_records_link_contention_wait() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        let mut net = NetState::with_config(
+            &s,
+            4,
+            WireConfig {
+                nic_serialization: false,
+                ..WireConfig::default()
+            },
+        );
+        // 0->3 then 1->3: the second message queues behind the first on
+        // the shared 1->3 link.
+        let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(3), 100, T0);
+        let b = net.send(&s, OpClass::PointToPoint, NodeId(1), NodeId(3), 100, T0);
+        assert!(a.uncontended());
+        assert!(b.link_wait > SimDuration::ZERO);
+        assert_eq!(b.inject_wait, SimDuration::ZERO);
+        assert!(!b.uncontended());
+    }
+
+    #[test]
+    fn blame_records_inject_wait() {
+        let s = spec(SendEngine::Coprocessor { ns_per_byte: 0.0 });
+        let mut net = NetState::new(&s, 4);
+        // Back-to-back sends from one node to distinct neighbors: the
+        // second queues behind the NIC, not behind any link.
+        let a = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        let b = net.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(2), 100, T0);
+        assert!(a.uncontended());
+        assert!(b.inject_wait > SimDuration::ZERO);
+        assert!(!b.uncontended());
+        // The waits match the instrumentation accumulators exactly when
+        // both are enabled.
+        let mut inst = NetState::new(&s, 4);
+        inst.enable_instrumentation();
+        let a2 = inst.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(1), 100, T0);
+        let b2 = inst.send(&s, OpClass::PointToPoint, NodeId(0), NodeId(2), 100, T0);
+        let instr = inst.instrumentation().expect("enabled");
+        assert_eq!(
+            instr.inject_queue_ns,
+            a2.inject_wait.as_nanos() + b2.inject_wait.as_nanos()
+        );
+        assert_eq!(
+            instr.link_queue_ns,
+            a2.link_wait.as_nanos() + b2.link_wait.as_nanos()
+        );
     }
 
     #[test]

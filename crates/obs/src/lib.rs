@@ -21,6 +21,9 @@
 //! * [`Profiler`] — named wall-clock timers (zero-cost when disabled)
 //!   for profiling the simulator itself.
 //! * [`prom`] — Prometheus text-exposition export of a registry.
+//! * [`critpath`] — causal critical-path reconstruction: walks blame
+//!   spans backward from completion and decomposes end-to-end latency
+//!   into exact per-category totals, plus the contention census.
 //!
 //! The crate is intentionally dependency-free — even of `desim` — so
 //! every layer of the stack can feed it without cycles. Times cross the
@@ -28,6 +31,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod critpath;
 pub mod json;
 pub mod manifest;
 pub mod prof;

@@ -8,6 +8,11 @@ use obs::{MetricsRegistry, RunManifest};
 /// Renders a metrics registry as an aligned text table preceded by the
 /// manifest's `# key: value` header lines.
 ///
+/// A run whose `exec.trace.dropped` counter is nonzero silently lost
+/// messages to the trace cap — every derived view (timelines, the
+/// critical-path walk) is incomplete — so the table is followed by a
+/// visible WARNING line instead of leaving the count buried in the rows.
+///
 /// # Examples
 ///
 /// ```
@@ -19,6 +24,7 @@ use obs::{MetricsRegistry, RunManifest};
 /// let text = report::metrics::render(&manifest, &reg);
 /// assert!(text.contains("# machine: t3d"));
 /// assert!(text.contains("net.messages"));
+/// assert!(!text.contains("WARNING"));
 /// ```
 pub fn render(manifest: &RunManifest, reg: &MetricsRegistry) -> String {
     let mut out = String::new();
@@ -31,6 +37,15 @@ pub fn render(manifest: &RunManifest, reg: &MetricsRegistry) -> String {
         table.push_row(row);
     }
     out.push_str(&table.render());
+    if let Some(dropped) = reg.get("exec.trace.dropped").and_then(|m| m.as_f64()) {
+        if dropped > 0.0 {
+            out.push_str(&format!(
+                "\nWARNING: {dropped:.0} messages exceeded the trace cap and were dropped — \
+                 timelines and critical-path decompositions are incomplete \
+                 (raise ExecConfig::trace_limit)\n"
+            ));
+        }
+    }
     out
 }
 
@@ -57,5 +72,20 @@ mod tests {
         let first_metric = text.find("metric").expect("table header");
         let last_comment = text.rfind('#').expect("comment header");
         assert!(last_comment < first_metric);
+        assert!(!text.contains("WARNING"), "no drops, no warning: {text}");
+    }
+
+    #[test]
+    fn dropped_messages_surface_as_warning() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("exec.trace.recorded", 100);
+        reg.counter("exec.trace.dropped", 17);
+        let text = render(&RunManifest::new("sp2"), &reg);
+        assert!(
+            text.contains("WARNING: 17 messages exceeded the trace cap"),
+            "{text}"
+        );
+        // The warning trails the table, on its own line.
+        assert!(text.trim_end().ends_with("(raise ExecConfig::trace_limit)"));
     }
 }

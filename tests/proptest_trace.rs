@@ -66,6 +66,7 @@ fn same_seed_runs_trace_identically() {
                     cpu_noise: None,
                     record_trace: true,
                     profile: false,
+                    provenance: false,
                 },
             )
             .expect("observed run")
