@@ -13,12 +13,17 @@
 //!
 //! `--suite [--threads N]` sweeps the fixed 21-point perfgate suite
 //! instead, printing one decomposition row per point and writing a
-//! single `critpath.json` artifact. The output is a pure function of
+//! single `critpath.json` artifact plus a `census.prom` exposition
+//! file with the per-machine × op contention census (admission-set
+//! fraction) as Prometheus gauges. The output is a pure function of
 //! the simulation inputs, so the whole directory is byte-identical for
-//! any `--threads N` — the CI determinism job diffs a serial run
-//! against `--threads 4`. The suite run ends with the scan-vs-bcast
-//! comparison the decomposition exists to answer: *why* the T3D scan
-//! is slower than its bcast at the same `(m, p)`.
+//! any `--threads N` — the CI determinism job compares a serial run
+//! against `--threads 4` with `tracediff`. The suite run ends with the
+//! scan-vs-bcast comparison the decomposition exists to answer: *why*
+//! the T3D scan is slower than its bcast at the same `(m, p)`.
+//!
+//! `--trace-cap N` caps recorded message traces at N entries; capped
+//! runs report how many messages the critical-path walk missed.
 
 use mpisim::comm::RunOptions;
 use mpisim::critpath::CritPath;
@@ -35,6 +40,7 @@ struct Args {
     out_dir: String,
     suite: bool,
     threads: usize,
+    trace_cap: Option<usize>,
 }
 
 fn parse_machine(name: &str) -> Option<Machine> {
@@ -48,14 +54,16 @@ fn parse_machine(name: &str) -> Option<Machine> {
 
 fn parse_op(name: &str) -> Option<OpClass> {
     let lower = name.to_ascii_lowercase();
-    OpClass::ALL
-        .into_iter()
-        .find(|op| op.key() == lower || op.paper_name().to_ascii_lowercase() == lower)
+    OpClass::from_key(&lower).or_else(|| {
+        OpClass::ALL
+            .into_iter()
+            .find(|op| op.paper_name().to_ascii_lowercase() == lower)
+    })
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: critpath --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR]\n       critpath --suite [--threads N] [--out DIR]"
+        "usage: critpath --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--trace-cap N]\n       critpath --suite [--threads N] [--out DIR] [--trace-cap N]"
     );
     std::process::exit(2);
 }
@@ -68,6 +76,7 @@ fn parse_args() -> Args {
     let mut out_dir = ".".to_string();
     let mut suite = false;
     let mut threads = 1usize;
+    let mut trace_cap = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -79,6 +88,7 @@ fn parse_args() -> Args {
             "--out" => out_dir = value(),
             "--suite" => suite = true,
             "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-cap" => trace_cap = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -97,6 +107,7 @@ fn parse_args() -> Args {
         out_dir,
         suite,
         threads,
+        trace_cap,
     }
 }
 
@@ -112,7 +123,13 @@ struct Analyzed {
 
 /// Runs one point under full observability + provenance and walks its
 /// critical path. Pure: same inputs produce the same bytes.
-fn analyze_point(machine: &Machine, op: OpClass, p: usize, m: u32) -> Analyzed {
+fn analyze_point(
+    machine: &Machine,
+    op: OpClass,
+    p: usize,
+    m: u32,
+    trace_cap: Option<usize>,
+) -> Analyzed {
     let bytes = if op == OpClass::Barrier { 0 } else { m };
     let comm = machine.communicator(p).expect("communicator size");
     let schedule = comm.schedule(op, Rank(0), bytes).expect("schedule build");
@@ -121,6 +138,7 @@ fn analyze_point(machine: &Machine, op: OpClass, p: usize, m: u32) -> Analyzed {
             &[&schedule],
             RunOptions {
                 provenance: true,
+                trace_limit: trace_cap,
                 ..RunOptions::default()
             },
         )
@@ -258,7 +276,7 @@ fn scan_vs_bcast(rows: &[(String, String, CritPath)]) {
 
 /// The fixed 21-point suite, analyzed with `threads` workers and written
 /// in canonical order from the merged results.
-fn run_suite(out_dir: &str, threads: usize) {
+fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
     let suite = bench::perfgate::default_suite();
     std::fs::create_dir_all(out_dir).expect("create output directory");
 
@@ -267,7 +285,7 @@ fn run_suite(out_dir: &str, threads: usize) {
         threads,
         |i| {
             let pt = &suite[i];
-            let a = analyze_point(&pt.machine, pt.op, pt.nodes, pt.bytes);
+            let a = analyze_point(&pt.machine, pt.op, pt.nodes, pt.bytes, trace_cap);
             let doc = decomposition_json(&pt.machine, pt.op, pt.nodes, pt.bytes, &a.cp);
             (
                 pt.machine.name().to_string(),
@@ -291,6 +309,26 @@ fn run_suite(out_dir: &str, threads: usize) {
     }
     scan_vs_bcast(&rows);
 
+    // The contention census as Prometheus gauges, one set per
+    // machine × op — the admission-set fraction a quiet-network fast
+    // path could elide.
+    let mut census_reg = MetricsRegistry::new();
+    for (machine, op, a, _) in &analyzed {
+        let id = bench::machine_id(machine)
+            .map(|id| id.name().to_ascii_lowercase())
+            .unwrap_or_else(|| machine.to_ascii_lowercase().replace(' ', "_"));
+        let base = format!("critpath.census.{id}.{op}");
+        census_reg.gauge(format!("{base}.transfers"), a.cp.census.transfers as f64);
+        census_reg.gauge(
+            format!("{base}.uncontended"),
+            a.cp.census.uncontended as f64,
+        );
+        census_reg.gauge(format!("{base}.frac"), a.cp.census.fraction());
+    }
+    let census_path = format!("{out_dir}/census.prom");
+    std::fs::write(&census_path, obs::prom::text(&census_reg)).expect("write census");
+    println!("wrote {census_path} ({} series)", census_reg.len());
+
     let artifact = Json::Array(analyzed.into_iter().map(|(_, _, _, doc)| doc).collect());
     let path = format!("{out_dir}/critpath.json");
     std::fs::write(&path, artifact.to_string_pretty()).expect("write artifact");
@@ -305,14 +343,14 @@ fn run_suite(out_dir: &str, threads: usize) {
 fn main() {
     let args = parse_args();
     if args.suite {
-        run_suite(&args.out_dir, args.threads);
+        run_suite(&args.out_dir, args.threads, args.trace_cap);
         return;
     }
 
     let machine = args.machine.as_ref().expect("checked in parse_args");
     let op = args.op.expect("checked in parse_args");
     let bytes = if op == OpClass::Barrier { 0 } else { args.m };
-    let a = analyze_point(machine, op, args.p, args.m);
+    let a = analyze_point(machine, op, args.p, args.m, args.trace_cap);
 
     println!("{}", report::metrics::render(&a.manifest, &a.reg));
     println!();

@@ -18,11 +18,17 @@
 //!
 //! `--suite` runs the fixed 21-point perfgate suite (all seven
 //! collectives × three machines at the representative `(m, p)`) instead
-//! of a single point, writing one trace + metrics file pair per point
-//! plus a `dataset.csv` measured over the same grid. Every file is a
-//! pure function of the simulation seed, so the whole output directory
-//! is byte-identical for any `--threads N` — the CI determinism job
-//! diffs a serial run against `--threads 4`.
+//! of a single point, writing one trace + metrics + canonical
+//! `*.record.json` run-record triple per point plus a `dataset.csv`
+//! measured over the same grid. Every file is a pure function of the
+//! simulation seed, so the whole output directory is byte-identical for
+//! any `--threads N` — the CI determinism job compares a serial run
+//! against `--threads 4` with `tracediff`, which explains the first
+//! divergent event structurally when the gate trips.
+//!
+//! `--trace-cap N` caps recorded message traces at N entries
+//! (messages beyond the cap are counted as dropped; `tracediff`
+//! refuses to certify runs with drops as identical).
 
 use harness::{Protocol, SweepBuilder};
 use mpisim::comm::RunOptions;
@@ -38,6 +44,7 @@ struct Args {
     profile: bool,
     suite: bool,
     threads: usize,
+    trace_cap: Option<usize>,
 }
 
 fn parse_machine(name: &str) -> Option<Machine> {
@@ -51,14 +58,16 @@ fn parse_machine(name: &str) -> Option<Machine> {
 
 fn parse_op(name: &str) -> Option<OpClass> {
     let lower = name.to_ascii_lowercase();
-    OpClass::ALL
-        .into_iter()
-        .find(|op| op.key() == lower || op.paper_name().to_ascii_lowercase() == lower)
+    OpClass::from_key(&lower).or_else(|| {
+        OpClass::ALL
+            .into_iter()
+            .find(|op| op.paper_name().to_ascii_lowercase() == lower)
+    })
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile]\n       observe --suite [--threads N] [--out DIR]"
+        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile] [--trace-cap N]\n       observe --suite [--threads N] [--out DIR] [--trace-cap N]"
     );
     std::process::exit(2);
 }
@@ -72,6 +81,7 @@ fn parse_args() -> Args {
     let mut profile = false;
     let mut suite = false;
     let mut threads = 1usize;
+    let mut trace_cap = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -84,6 +94,7 @@ fn parse_args() -> Args {
             "--profile" => profile = true,
             "--suite" => suite = true,
             "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-cap" => trace_cap = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -103,6 +114,7 @@ fn parse_args() -> Args {
         profile,
         suite,
         threads,
+        trace_cap,
     }
 }
 
@@ -207,7 +219,7 @@ fn observe_point(
 /// The fixed 21-point suite in canonical order, run under full
 /// instrumentation with `threads` workers; every output file is written
 /// in canonical order from the merged results.
-fn run_suite(out_dir: &str, threads: usize) {
+fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
     let suite = bench::perfgate::default_suite();
     std::fs::create_dir_all(out_dir).expect("create output directory");
 
@@ -221,23 +233,39 @@ fn run_suite(out_dir: &str, threads: usize) {
                 pt.op,
                 pt.nodes,
                 pt.bytes,
-                RunOptions::default(),
+                RunOptions {
+                    trace_limit: trace_cap,
+                    ..RunOptions::default()
+                },
+            );
+            // A second, fully instrumented run builds the canonical
+            // run record that `tracediff` compares structurally.
+            let record = bench::diffsuite::record_point(
+                &pt.machine,
+                pt.op,
+                pt.nodes,
+                pt.bytes,
+                false,
+                trace_cap,
             );
             let file_stem = stem(&pt.machine, pt.op, pt.nodes, pt.bytes);
             (
                 file_stem,
                 obs.trace.to_json_string(),
                 obs.snapshot,
+                record.to_json_string(),
                 obs.trace.len(),
             )
         },
         &|_, _| {},
     );
-    for (file_stem, trace_json, metrics_json, events) in &rendered {
+    for (file_stem, trace_json, metrics_json, record_json, events) in &rendered {
         std::fs::write(format!("{out_dir}/{file_stem}.trace.json"), trace_json)
             .expect("write trace");
         std::fs::write(format!("{out_dir}/{file_stem}.metrics.json"), metrics_json)
             .expect("write metrics");
+        std::fs::write(format!("{out_dir}/{file_stem}.record.json"), record_json)
+            .expect("write record");
         println!("wrote {out_dir}/{file_stem}.trace.json ({events} events)");
     }
 
@@ -284,7 +312,7 @@ fn run_suite(out_dir: &str, threads: usize) {
 fn main() {
     let args = parse_args();
     if args.suite {
-        run_suite(&args.out_dir, args.threads);
+        run_suite(&args.out_dir, args.threads, args.trace_cap);
         return;
     }
 
@@ -293,6 +321,7 @@ fn main() {
     let bytes = if op == OpClass::Barrier { 0 } else { args.m };
     let options = RunOptions {
         profile: args.profile,
+        trace_limit: args.trace_cap,
         ..RunOptions::default()
     };
     let point = observe_point(machine, op, args.p, args.m, options);

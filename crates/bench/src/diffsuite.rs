@@ -1,0 +1,78 @@
+//! Shared record-building for the differential harness: runs one suite
+//! point under full instrumentation (trace + provenance + event log +
+//! critical path + metrics) and assembles the canonical
+//! [`obs::RunRecord`] that `obs::diff` and the `tracediff` binary
+//! compare.
+
+use crate::perfgate::{default_suite, SuitePoint};
+use mpisim::exec::ExecConfig;
+use mpisim::{Machine, OpClass, Rank};
+use obs::{MetricsRegistry, RunRecord};
+
+/// Runs one point fully instrumented and builds its run record. Pure:
+/// same inputs produce byte-identical serialized records.
+/// `invert_ties` applies the seeded FIFO tie-break inversion (the
+/// eager-delivery failure mode) for differential demonstrations.
+pub fn record_point(
+    machine: &Machine,
+    op: OpClass,
+    p: usize,
+    m: u32,
+    invert_ties: bool,
+    trace_limit: Option<usize>,
+) -> RunRecord {
+    let bytes = if op == OpClass::Barrier { 0 } else { m };
+    let comm = machine.communicator(p).expect("communicator size");
+    let schedule = comm.schedule(op, Rank(0), bytes).expect("schedule build");
+    let cfg = ExecConfig {
+        wire: machine.wire_config(),
+        placement: machine.placement(),
+        record_trace: true,
+        trace_limit,
+        provenance: true,
+        event_log: true,
+        invert_ties,
+        ..ExecConfig::default()
+    };
+    let (out, observed) =
+        mpisim::execute_observed(machine.spec(), &[&schedule], &cfg).expect("observed execution");
+    let cp = mpisim::critpath::analyze(&out, &observed);
+    let mut reg = MetricsRegistry::new();
+    mpisim::observe::export_metrics(&out, &observed, &mut reg);
+    cp.export_metrics(&mut reg);
+    let mut rec =
+        mpisim::record::run_record(machine.name(), &out, &observed, Some(&cp), Some(&reg));
+    rec.meta.insert("op".into(), op.key().into());
+    rec.meta.insert("p".into(), p.to_string());
+    rec.meta.insert("m".into(), bytes.to_string());
+    if invert_ties {
+        rec.meta.insert("perturb".into(), "invert_ties".into());
+    }
+    rec
+}
+
+/// [`record_point`] over a [`SuitePoint`].
+pub fn record_suite_point(
+    pt: &SuitePoint,
+    invert_ties: bool,
+    trace_limit: Option<usize>,
+) -> RunRecord {
+    record_point(
+        &pt.machine,
+        pt.op,
+        pt.nodes,
+        pt.bytes,
+        invert_ties,
+        trace_limit,
+    )
+}
+
+/// The canonical 21-point suite (re-exported so bins need one import).
+pub fn suite() -> Vec<SuitePoint> {
+    default_suite()
+}
+
+/// File-stem-safe form of a suite label, e.g. `sp2_alltoall`.
+pub fn label_stem(label: &str) -> String {
+    label.replace('/', "_")
+}

@@ -14,6 +14,7 @@ use std::collections::BinaryHeap;
 
 use crate::calqueue::CalendarQueue;
 use crate::event::{Event, EventStats, EventWorld, TypedEvent};
+use crate::eventlog::EventLog;
 use crate::provenance::{Provenance, ROOT};
 use crate::time::{SimDuration, SimTime};
 
@@ -352,6 +353,9 @@ pub struct Engine<W> {
     /// Self-profiling state; `None` (the default) costs one branch per
     /// step and zero clock reads.
     prof: Option<Box<EngineProfile>>,
+    /// Canonical fired-event log; `None` (the default) costs one branch
+    /// per step. See [`Engine::with_event_log`].
+    elog: Option<Box<EventLog>>,
 }
 
 impl<W> Default for Engine<W> {
@@ -394,6 +398,7 @@ impl<W> Engine<W> {
             event_limit: Self::DEFAULT_EVENT_LIMIT,
             queue_high_water: 0,
             prof: None,
+            elog: None,
         }
     }
 
@@ -432,6 +437,21 @@ impl<W> Engine<W> {
     /// [`Engine::with_provenance`].
     pub fn provenance(&self) -> Option<&Provenance> {
         self.scheduler.prov.as_deref()
+    }
+
+    /// Enables canonical event logging: every *fired* event is recorded
+    /// as a compact `(seq, at, kind, a, b)` tuple in firing order — the
+    /// stream `obs::diff` aligns when comparing two runs. Like profiling
+    /// and provenance, recording never perturbs the simulation.
+    pub fn with_event_log(mut self) -> Self {
+        self.elog = Some(Box::default());
+        self
+    }
+
+    /// The collected fired-event log; `None` unless built
+    /// [`Engine::with_event_log`].
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.elog.as_deref()
     }
 
     /// Current simulated time.
@@ -479,6 +499,9 @@ impl<W> Engine<W> {
         }
         if let Some(prov) = &self.scheduler.prov {
             prov.export_metrics(reg);
+        }
+        if let Some(elog) = &self.elog {
+            elog.export_metrics(reg);
         }
     }
 
@@ -589,6 +612,12 @@ impl<W: EventWorld> Engine<W> {
         if let Some(p) = &mut self.scheduler.prov {
             p.mark_fired(ev.seq);
             self.scheduler.current = ev.seq;
+        }
+        if let Some(log) = &mut self.elog {
+            // Encode from a borrow — the dispatch match below consumes
+            // the payload.
+            let (kind, a, b) = crate::eventlog::encode(&ev.ev);
+            log.record(ev.seq, ev.at, kind, a, b);
         }
         match ev.ev {
             Event::Typed(TypedEvent::Continuation { slot }) => {

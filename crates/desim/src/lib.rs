@@ -54,6 +54,7 @@ pub mod calqueue;
 pub mod check;
 pub mod engine;
 pub mod event;
+pub mod eventlog;
 pub mod provenance;
 pub mod resource;
 pub mod rng;
@@ -63,6 +64,7 @@ pub mod time;
 pub use calqueue::CalendarQueue;
 pub use engine::{Engine, EngineProfile, EventFn, Scheduler};
 pub use event::{Event, EventStats, EventWorld, TypedEvent};
+pub use eventlog::{EventKind, EventLog, LoggedEvent};
 pub use provenance::{ProvRecord, Provenance};
 pub use resource::{FifoResource, Grant, ResourcePool};
 pub use rng::SplitMix64;

@@ -125,9 +125,7 @@ pub fn measure(
             RunOptions {
                 start_times: Some(skew),
                 cpu_noise,
-                record_trace: false,
-                profile: false,
-                provenance: false,
+                ..RunOptions::default()
             },
         )?;
 

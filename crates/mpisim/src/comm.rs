@@ -26,6 +26,14 @@ pub struct RunOptions {
     /// [`crate::exec::Observed::provenance`] on observed runs. Zero cost
     /// when off.
     pub provenance: bool,
+    /// Record the canonical fired-event stream; surfaced via
+    /// [`crate::exec::Observed::event_log`] on observed runs. Zero cost
+    /// when off.
+    pub event_log: bool,
+    /// Cap on recorded [`crate::exec::MessageTrace`] entries (the
+    /// `--trace-cap` CLI flag); `None` uses
+    /// [`crate::exec::DEFAULT_TRACE_LIMIT`].
+    pub trace_limit: Option<usize>,
 }
 
 /// How a communicator's ranks map onto the machine.
@@ -333,11 +341,13 @@ impl Communicator {
             start_times: options.start_times,
             skip_validation: false,
             record_trace: options.record_trace,
-            trace_limit: None,
+            trace_limit: options.trace_limit,
             placement: self.machine.placement(),
             cpu_noise: options.cpu_noise,
             profile: options.profile,
             provenance: options.provenance,
+            event_log: options.event_log,
+            invert_ties: false,
             group: match &self.scope {
                 CommScope::Whole => None,
                 CommScope::Group {

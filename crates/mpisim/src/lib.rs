@@ -34,6 +34,7 @@ pub mod exec;
 pub mod machine;
 pub mod observe;
 pub mod placement;
+pub mod record;
 
 pub use collectives::{Rank, Schedule, Step};
 pub use comm::{CollectiveOutcome, Communicator, RunOptions};

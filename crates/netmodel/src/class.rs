@@ -88,6 +88,13 @@ impl OpClass {
         }
     }
 
+    /// Inverse of [`OpClass::key`] — parses the short key back to the
+    /// class. Run-record serialization stores classes by key, so
+    /// consumers of `*.record.json` round-trip through this.
+    pub fn from_key(key: &str) -> Option<OpClass> {
+        OpClass::ALL.into_iter().find(|op| op.key() == key)
+    }
+
     /// The paper's name for the operation.
     pub fn paper_name(self) -> &'static str {
         match self {
@@ -295,6 +302,15 @@ impl CostTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn keys_round_trip_through_from_key() {
+        for op in OpClass::ALL {
+            assert_eq!(OpClass::from_key(op.key()), Some(op));
+        }
+        assert_eq!(OpClass::from_key("nope"), None);
+        assert_eq!(OpClass::from_key("Bcast"), None, "keys are lowercase");
+    }
 
     #[test]
     fn aggregated_volume_matches_paper() {

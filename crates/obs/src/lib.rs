@@ -32,17 +32,21 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod critpath;
+pub mod diff;
 pub mod json;
 pub mod manifest;
 pub mod prof;
 pub mod prom;
 pub mod quantile;
+pub mod record;
 pub mod registry;
 pub mod trace;
 
+pub use diff::{DiffReport, Verdict};
 pub use json::{validate, Json};
 pub use manifest::RunManifest;
 pub use prof::Profiler;
 pub use quantile::QuantileSketch;
+pub use record::RunRecord;
 pub use registry::{Metric, MetricsRegistry, Pow2Histogram};
 pub use trace::ChromeTrace;

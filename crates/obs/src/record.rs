@@ -1,0 +1,530 @@
+//! Canonical run-record serialization — the exchange format of the
+//! differential-observability layer.
+//!
+//! A [`RunRecord`] is everything two runs need in order to be compared
+//! structurally: the fired-event stream with causal parent edges, the
+//! per-message transfer blame spans, the per-rank phase timeline, the
+//! per-segment finish matrix, the critical-path blame totals and
+//! contention census, and a flat metrics snapshot. The executor layer
+//! (mpisim) assembles it from its own artifacts; this module owns the
+//! schema and the (de)serialization.
+//!
+//! The format is schema-versioned JSON with deterministic ordering:
+//! arrays keep their producer order (which is itself deterministic),
+//! objects serialize with sorted keys (see [`crate::Json`]), and the
+//! compact form has no whitespace — so byte equality of two serialized
+//! records is a meaningful verdict, not an accident of formatting.
+
+use std::collections::BTreeMap;
+
+use crate::json::{validate, Json};
+
+/// Bump when the record layout changes incompatibly. Readers refuse
+/// records from a different schema rather than mis-parse them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One fired event: the engine's `(seq, at, kind, a, b)` tuple plus the
+/// causal parent edge from provenance (`None` for root stimuli or when
+/// provenance was off).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecEvent {
+    /// Scheduling sequence number.
+    pub seq: u64,
+    /// Firing instant, nanoseconds.
+    pub at_ns: u64,
+    /// Stable kind key (`rank_resume`, `message_ready`, `link_grant`,
+    /// `schedule_step`, `timer`, `continuation`, `dyn`).
+    pub kind: String,
+    /// First payload field (see [`event_field_names`]); 0 if unused.
+    pub a: u64,
+    /// Second payload field; 0 if unused.
+    pub b: u64,
+    /// Seq of the event that scheduled this one, if known.
+    pub parent: Option<u64>,
+}
+
+/// Human-readable names of the `(a, b)` payload fields for a kind key;
+/// empty strings for unused slots. Mirrors the desim event vocabulary
+/// (kept in sync by the cross-crate round-trip tests).
+pub fn event_field_names(kind: &str) -> (&'static str, &'static str) {
+    match kind {
+        "rank_resume" => ("rank", ""),
+        "message_ready" => ("src", "dst"),
+        "link_grant" => ("link", "grantee"),
+        "schedule_step" => ("rank", "step"),
+        "timer" => ("id", ""),
+        "continuation" => ("slot", ""),
+        _ => ("", ""),
+    }
+}
+
+/// The ranks an event touches, for context-window summaries. `dyn` and
+/// `timer` events touch none; `link_grant` touches the grantee.
+pub fn event_ranks(ev: &RecEvent) -> Vec<u32> {
+    match ev.kind.as_str() {
+        "rank_resume" | "schedule_step" => vec![ev.a as u32],
+        "message_ready" => vec![ev.a as u32, ev.b as u32],
+        "link_grant" => vec![ev.b as u32],
+        _ => Vec::new(),
+    }
+}
+
+/// Renders an event as a one-line human-readable description, e.g.
+/// `message_ready(src=0, dst=3) @ 12450ns seq=17`.
+pub fn describe_event(ev: &RecEvent) -> String {
+    let (na, nb) = event_field_names(&ev.kind);
+    let payload = match (na.is_empty(), nb.is_empty()) {
+        (true, _) => String::new(),
+        (false, true) => format!("{na}={}", ev.a),
+        (false, false) => format!("{na}={}, {nb}={}", ev.a, ev.b),
+    };
+    format!("{}({payload}) @ {}ns seq={}", ev.kind, ev.at_ns, ev.seq)
+}
+
+/// One traced message transfer with its blame split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecTransfer {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Operation-class key.
+    pub class: String,
+    /// Instant the send was posted, nanoseconds.
+    pub posted_ns: u64,
+    /// Instant the wire journey began.
+    pub wire_start_ns: u64,
+    /// Instant the payload fully arrived.
+    pub delivered_ns: u64,
+    /// Time queued behind the node's injection engine.
+    pub inject_wait_ns: u64,
+    /// Time queued behind busy links.
+    pub link_wait_ns: u64,
+}
+
+/// One attributed phase span on a rank's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecSpan {
+    /// The rank.
+    pub rank: u32,
+    /// Phase-kind label (the executor's span vocabulary).
+    pub kind: String,
+    /// Span start, nanoseconds.
+    pub start_ns: u64,
+    /// Span end, nanoseconds.
+    pub end_ns: u64,
+    /// Rank whose action ended a blocked span, if attributed.
+    pub woke_by: Option<u32>,
+}
+
+/// The full run record. See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Free-form run identity: machine, op, ranks, bytes, config knobs.
+    pub meta: BTreeMap<String, String>,
+    /// End-to-end elapsed time, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Messages dropped from the trace by the trace cap. A non-zero
+    /// value poisons identity certification (see `obs::diff`).
+    pub dropped_messages: u64,
+    /// The fired-event stream, in firing order. Empty when event
+    /// logging was off.
+    pub events: Vec<RecEvent>,
+    /// Traced transfers, in trace order. Empty when tracing was off.
+    pub transfers: Vec<RecTransfer>,
+    /// Phase spans, in emission order. Empty when not observed.
+    pub spans: Vec<RecSpan>,
+    /// `finish_ns[segment][rank]` completion instants.
+    pub finish_ns: Vec<Vec<u64>>,
+    /// Critical-path blame totals, nanoseconds per category key.
+    pub blame_ns: BTreeMap<String, u64>,
+    /// Contention census: `(transfers, uncontended)` over the trace.
+    pub census: Option<(u64, u64)>,
+    /// Flat numeric metrics snapshot.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl RunRecord {
+    /// True when the two records describe the *same execution*: equal
+    /// event streams, transfers, spans, finish matrices, elapsed time,
+    /// and drop counts. Meta and metrics may differ (they carry host
+    /// wall-clock noise and run labels).
+    pub fn same_execution(&self, other: &RunRecord) -> bool {
+        self.elapsed_ns == other.elapsed_ns
+            && self.dropped_messages == other.dropped_messages
+            && self.events == other.events
+            && self.transfers == other.transfers
+            && self.spans == other.spans
+            && self.finish_ns == other.finish_ns
+    }
+
+    /// Serializes to the canonical [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::Array(vec![
+                    Json::UInt(e.seq),
+                    Json::UInt(e.at_ns),
+                    Json::str(&e.kind),
+                    Json::UInt(e.a),
+                    Json::UInt(e.b),
+                    e.parent.map_or(Json::Null, Json::UInt),
+                ])
+            })
+            .collect();
+        let transfers = self
+            .transfers
+            .iter()
+            .map(|t| {
+                Json::Array(vec![
+                    Json::UInt(t.src as u64),
+                    Json::UInt(t.dst as u64),
+                    Json::UInt(t.bytes),
+                    Json::str(&t.class),
+                    Json::UInt(t.posted_ns),
+                    Json::UInt(t.wire_start_ns),
+                    Json::UInt(t.delivered_ns),
+                    Json::UInt(t.inject_wait_ns),
+                    Json::UInt(t.link_wait_ns),
+                ])
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::Array(vec![
+                    Json::UInt(s.rank as u64),
+                    Json::str(&s.kind),
+                    Json::UInt(s.start_ns),
+                    Json::UInt(s.end_ns),
+                    s.woke_by.map_or(Json::Null, |w| Json::UInt(w as u64)),
+                ])
+            })
+            .collect();
+        let finish = self
+            .finish_ns
+            .iter()
+            .map(|seg| Json::Array(seg.iter().map(|&t| Json::UInt(t)).collect()))
+            .collect();
+        let mut doc = vec![
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            (
+                "meta",
+                Json::object(self.meta.iter().map(|(k, v)| (k.clone(), Json::str(v)))),
+            ),
+            ("elapsed_ns", Json::UInt(self.elapsed_ns)),
+            ("dropped_messages", Json::UInt(self.dropped_messages)),
+            ("events", Json::Array(events)),
+            ("transfers", Json::Array(transfers)),
+            ("spans", Json::Array(spans)),
+            ("finish_ns", Json::Array(finish)),
+            (
+                "blame_ns",
+                Json::object(
+                    self.blame_ns
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v))),
+                ),
+            ),
+            (
+                "metrics",
+                Json::object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Float(v))),
+                ),
+            ),
+        ];
+        if let Some((transfers, uncontended)) = self.census {
+            doc.push((
+                "census",
+                Json::object([
+                    ("transfers", Json::UInt(transfers)),
+                    ("uncontended", Json::UInt(uncontended)),
+                ]),
+            ));
+        }
+        Json::object(doc)
+    }
+
+    /// Canonical compact serialization: byte equality of two outputs is
+    /// the `ByteIdentical` verdict.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parses a serialized record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field on malformed input
+    /// or a schema-version mismatch.
+    pub fn from_json(text: &str) -> Result<RunRecord, String> {
+        let doc = validate(text)?;
+        let version = field_u64(&doc, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "run-record schema {version} unsupported (reader speaks {SCHEMA_VERSION})"
+            ));
+        }
+        let mut rec = RunRecord {
+            elapsed_ns: field_u64(&doc, "elapsed_ns")?,
+            dropped_messages: field_u64(&doc, "dropped_messages")?,
+            ..RunRecord::default()
+        };
+        if let Some(Json::Object(m)) = doc.get("meta") {
+            for (k, v) in m {
+                rec.meta.insert(
+                    k.clone(),
+                    v.as_str()
+                        .ok_or_else(|| format!("meta.{k}: not a string"))?
+                        .to_string(),
+                );
+            }
+        }
+        for (i, row) in field_array(&doc, "events")?.iter().enumerate() {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("events[{i}]: not an array"))?;
+            if row.len() != 6 {
+                return Err(format!("events[{i}]: expected 6 fields"));
+            }
+            rec.events.push(RecEvent {
+                seq: as_u64(&row[0]).ok_or_else(|| format!("events[{i}].seq"))?,
+                at_ns: as_u64(&row[1]).ok_or_else(|| format!("events[{i}].at_ns"))?,
+                kind: row[2]
+                    .as_str()
+                    .ok_or_else(|| format!("events[{i}].kind"))?
+                    .to_string(),
+                a: as_u64(&row[3]).ok_or_else(|| format!("events[{i}].a"))?,
+                b: as_u64(&row[4]).ok_or_else(|| format!("events[{i}].b"))?,
+                parent: match &row[5] {
+                    Json::Null => None,
+                    other => Some(as_u64(other).ok_or_else(|| format!("events[{i}].parent"))?),
+                },
+            });
+        }
+        for (i, row) in field_array(&doc, "transfers")?.iter().enumerate() {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("transfers[{i}]: not an array"))?;
+            if row.len() != 9 {
+                return Err(format!("transfers[{i}]: expected 9 fields"));
+            }
+            let u = |j: usize, name: &str| {
+                as_u64(&row[j]).ok_or_else(|| format!("transfers[{i}].{name}"))
+            };
+            rec.transfers.push(RecTransfer {
+                src: u(0, "src")? as u32,
+                dst: u(1, "dst")? as u32,
+                bytes: u(2, "bytes")?,
+                class: row[3]
+                    .as_str()
+                    .ok_or_else(|| format!("transfers[{i}].class"))?
+                    .to_string(),
+                posted_ns: u(4, "posted_ns")?,
+                wire_start_ns: u(5, "wire_start_ns")?,
+                delivered_ns: u(6, "delivered_ns")?,
+                inject_wait_ns: u(7, "inject_wait_ns")?,
+                link_wait_ns: u(8, "link_wait_ns")?,
+            });
+        }
+        for (i, row) in field_array(&doc, "spans")?.iter().enumerate() {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("spans[{i}]: not an array"))?;
+            if row.len() != 5 {
+                return Err(format!("spans[{i}]: expected 5 fields"));
+            }
+            rec.spans.push(RecSpan {
+                rank: as_u64(&row[0]).ok_or_else(|| format!("spans[{i}].rank"))? as u32,
+                kind: row[1]
+                    .as_str()
+                    .ok_or_else(|| format!("spans[{i}].kind"))?
+                    .to_string(),
+                start_ns: as_u64(&row[2]).ok_or_else(|| format!("spans[{i}].start_ns"))?,
+                end_ns: as_u64(&row[3]).ok_or_else(|| format!("spans[{i}].end_ns"))?,
+                woke_by: match &row[4] {
+                    Json::Null => None,
+                    other => {
+                        Some(as_u64(other).ok_or_else(|| format!("spans[{i}].woke_by"))? as u32)
+                    }
+                },
+            });
+        }
+        for (i, seg) in field_array(&doc, "finish_ns")?.iter().enumerate() {
+            let seg = seg
+                .as_array()
+                .ok_or_else(|| format!("finish_ns[{i}]: not an array"))?;
+            rec.finish_ns.push(
+                seg.iter()
+                    .map(|t| as_u64(t).ok_or_else(|| format!("finish_ns[{i}]: bad instant")))
+                    .collect::<Result<_, _>>()?,
+            );
+        }
+        if let Some(Json::Object(m)) = doc.get("blame_ns") {
+            for (k, v) in m {
+                rec.blame_ns
+                    .insert(k.clone(), as_u64(v).ok_or_else(|| format!("blame_ns.{k}"))?);
+            }
+        }
+        if let Some(c) = doc.get("census") {
+            rec.census = Some((field_u64(c, "transfers")?, field_u64(c, "uncontended")?));
+        }
+        if let Some(Json::Object(m)) = doc.get("metrics") {
+            for (k, v) in m {
+                rec.metrics
+                    .insert(k.clone(), v.as_f64().ok_or_else(|| format!("metrics.{k}"))?);
+            }
+        }
+        Ok(rec)
+    }
+}
+
+/// Numeric value as `u64` — the parser normalizes small unsigned values
+/// to `Int`, so both variants must be accepted.
+fn as_u64(j: &Json) -> Option<u64> {
+    match j {
+        Json::UInt(u) => Some(*u),
+        Json::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+fn field_u64(doc: &Json, name: &str) -> Result<u64, String> {
+    doc.get(name)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{name}'"))
+}
+
+fn field_array<'a>(doc: &'a Json, name: &str) -> Result<&'a [Json], String> {
+    doc.get(name)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing or non-array field '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        let mut rec = RunRecord {
+            elapsed_ns: 5000,
+            dropped_messages: 0,
+            ..RunRecord::default()
+        };
+        rec.meta.insert("machine".into(), "t3d".into());
+        rec.meta.insert("op".into(), "bcast".into());
+        rec.events.push(RecEvent {
+            seq: 0,
+            at_ns: 0,
+            kind: "rank_resume".into(),
+            a: 0,
+            b: 0,
+            parent: None,
+        });
+        rec.events.push(RecEvent {
+            seq: 2,
+            at_ns: 1200,
+            kind: "message_ready".into(),
+            a: 0,
+            b: 1,
+            parent: Some(0),
+        });
+        rec.transfers.push(RecTransfer {
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            class: "bcast".into(),
+            posted_ns: 100,
+            wire_start_ns: 150,
+            delivered_ns: 1200,
+            inject_wait_ns: 0,
+            link_wait_ns: 50,
+        });
+        rec.spans.push(RecSpan {
+            rank: 1,
+            kind: "recv_wait".into(),
+            start_ns: 0,
+            end_ns: 1200,
+            woke_by: Some(0),
+        });
+        rec.finish_ns.push(vec![4000, 5000]);
+        rec.blame_ns.insert("wire".into(), 3000);
+        rec.blame_ns.insert("entry".into(), 2000);
+        rec.census = Some((1, 0));
+        rec.metrics.insert("exec.messages".into(), 1.0);
+        rec
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let rec = sample();
+        let text = rec.to_json_string();
+        let back = RunRecord::from_json(&text).expect("parse");
+        assert_eq!(back, rec);
+        assert_eq!(back.to_json_string(), text, "canonical form is stable");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = sample()
+            .to_json_string()
+            .replace("\"schema_version\":1", "\"schema_version\":999");
+        let err = RunRecord::from_json(&text).expect_err("version gate");
+        assert!(err.contains("schema 999"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(RunRecord::from_json("{\"schema_version\":1}").is_err());
+        let bad = "{\"schema_version\":1,\"elapsed_ns\":1,\"dropped_messages\":0,\
+                   \"events\":[[1,2]],\"transfers\":[],\"spans\":[],\"finish_ns\":[]}";
+        let err = RunRecord::from_json(bad).expect_err("short event row");
+        assert!(err.contains("events[0]"), "{err}");
+    }
+
+    #[test]
+    fn same_execution_ignores_meta_and_metrics() {
+        let a = sample();
+        let mut b = sample();
+        b.meta.insert("host".into(), "elsewhere".into());
+        b.metrics.insert("engine.prof.wall_ns".into(), 99.0);
+        assert!(a.same_execution(&b));
+        assert_ne!(a.to_json_string(), b.to_json_string());
+        b.events[1].at_ns += 1;
+        assert!(!a.same_execution(&b));
+    }
+
+    #[test]
+    fn describe_and_ranks_cover_kinds() {
+        let ev = RecEvent {
+            seq: 17,
+            at_ns: 12450,
+            kind: "message_ready".into(),
+            a: 0,
+            b: 3,
+            parent: None,
+        };
+        assert_eq!(
+            describe_event(&ev),
+            "message_ready(src=0, dst=3) @ 12450ns seq=17"
+        );
+        assert_eq!(event_ranks(&ev), vec![0, 3]);
+        let timer = RecEvent {
+            seq: 1,
+            at_ns: 5,
+            kind: "timer".into(),
+            a: 9,
+            b: 0,
+            parent: None,
+        };
+        assert_eq!(describe_event(&timer), "timer(id=9) @ 5ns seq=1");
+        assert!(event_ranks(&timer).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Renders `obs::diff` comparison reports as console text: the verdict
+//! line, the first-divergence explanation with its causal context
+//! window, and the blame-delta / metric-delta tables.
+
+use crate::table::Table;
+use obs::diff::{DiffReport, Divergence};
+use obs::record::describe_event;
+
+/// One-line verdict summary, e.g.
+/// `t3d/alltoall: DIVERGENT (first at events[412])`.
+pub fn verdict_line(label: &str, report: &DiffReport) -> String {
+    let mut line = format!("{label}: {}", report.verdict.label());
+    if let Some(first) = &report.first {
+        line.push_str(&format!(" (first at {}[{}])", first.component, first.index));
+    }
+    if report.verdict.identical() && !report.certified {
+        line.push_str(" [UNCERTIFIED]");
+    }
+    line
+}
+
+/// Multi-line explanation of a divergence: the first divergent entry
+/// with expected-vs-got, the ranks involved, and the causal ancestor
+/// window walked through the provenance edges.
+pub fn divergence_text(d: &Divergence) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "first divergence: {}[{}]\n  expected: {}\n  got:      {}\n",
+        d.component, d.index, d.expected, d.got
+    ));
+    if !d.ranks.is_empty() {
+        let ranks: Vec<String> = d.ranks.iter().map(u32::to_string).collect();
+        out.push_str(&format!("  ranks involved: {}\n", ranks.join(", ")));
+    }
+    if !d.context.is_empty() {
+        out.push_str("  causal context (newest first):\n");
+        for (i, ev) in d.context.iter().enumerate() {
+            out.push_str(&format!("    -{:>2}  {}\n", i + 1, describe_event(ev)));
+        }
+    }
+    out
+}
+
+/// Per-category blame-delta table (B minus A), categories with any
+/// time first by |delta|.
+pub fn blame_table(report: &DiffReport) -> Table {
+    let mut t = Table::new(["category", "A (ns)", "B (ns)", "delta (ns)"]);
+    let mut rows: Vec<_> = report.blame.iter().collect();
+    rows.sort_by_key(|b| std::cmp::Reverse(b.delta_ns().abs()));
+    for b in rows {
+        t.push_row([
+            b.category.clone(),
+            b.a_ns.to_string(),
+            b.b_ns.to_string(),
+            format!("{:+}", b.delta_ns()),
+        ]);
+    }
+    t.push_row([
+        "elapsed".to_string(),
+        report.elapsed_a_ns.to_string(),
+        report.elapsed_b_ns.to_string(),
+        format!("{:+}", report.elapsed_delta_ns()),
+    ]);
+    t
+}
+
+/// Metric-delta table; `only_significant` hides changes under the
+/// noise floor.
+pub fn metric_table(report: &DiffReport, only_significant: bool) -> Table {
+    let mut t = Table::new(["metric", "A", "B", "rel", "significant"]);
+    for m in &report.metrics {
+        if only_significant && !m.significant {
+            continue;
+        }
+        t.push_row([
+            m.name.clone(),
+            format!("{:.6}", m.a),
+            format!("{:.6}", m.b),
+            format!("{:+.1}%", (m.b - m.a) / m.a.abs().max(f64::EPSILON) * 100.0),
+            if m.significant { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The full console report for one comparison: verdict, certification
+/// caveat, divergence explanation, and delta tables when informative.
+pub fn render_report(label: &str, report: &DiffReport) -> String {
+    let mut out = verdict_line(label, report);
+    out.push('\n');
+    if let Some(reason) = &report.uncertified_reason {
+        out.push_str(&format!("  not certified: {reason}\n"));
+    }
+    if let Some(first) = &report.first {
+        out.push_str(&divergence_text(first));
+    }
+    if report.verdict == obs::Verdict::Divergent && !report.blame.is_empty() {
+        out.push('\n');
+        out.push_str(&blame_table(report).render());
+    }
+    let significant = report.significant_metrics().count();
+    if report.verdict == obs::Verdict::Divergent && significant > 0 {
+        out.push('\n');
+        out.push_str(&metric_table(report, true).render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::diff::diff;
+    use obs::record::{RecEvent, RunRecord};
+
+    fn run(extra_at: u64) -> RunRecord {
+        let mut rec = RunRecord {
+            elapsed_ns: 900 + extra_at,
+            ..RunRecord::default()
+        };
+        for i in 0..4u64 {
+            rec.events.push(RecEvent {
+                seq: i,
+                at_ns: i * 300 + if i == 3 { extra_at } else { 0 },
+                kind: "rank_resume".into(),
+                a: i,
+                b: 0,
+                parent: i.checked_sub(1),
+            });
+        }
+        rec.blame_ns.insert("wire".into(), 900 + extra_at);
+        rec.metrics.insert("exec.completed_us".into(), 0.9);
+        rec
+    }
+
+    #[test]
+    fn identical_report_renders_one_line() {
+        let a = run(0);
+        let text = render_report("t3d/bcast", &diff(&a, &a));
+        assert!(text.starts_with("t3d/bcast: byte-identical"));
+        assert!(!text.contains("first divergence"));
+    }
+
+    #[test]
+    fn divergent_report_names_event_ranks_and_context() {
+        let a = run(0);
+        let b = run(50);
+        let report = diff(&a, &b);
+        let text = render_report("t3d/bcast", &report);
+        assert!(text.contains("DIVERGENT"), "{text}");
+        assert!(text.contains("first divergence: events[3]"), "{text}");
+        assert!(
+            text.contains("expected: rank_resume(rank=3) @ 900ns"),
+            "{text}"
+        );
+        assert!(
+            text.contains("got:      rank_resume(rank=3) @ 950ns"),
+            "{text}"
+        );
+        assert!(text.contains("ranks involved"), "{text}");
+        assert!(text.contains("causal context"), "{text}");
+        assert!(text.contains("seq=2"), "{text}");
+        assert!(text.contains("delta (ns)"), "blame table rendered: {text}");
+    }
+
+    #[test]
+    fn uncertified_identity_is_flagged() {
+        let mut a = run(0);
+        a.dropped_messages = 2;
+        let report = diff(&a, &a.clone());
+        let text = render_report("x", &report);
+        assert!(text.contains("[UNCERTIFIED]"), "{text}");
+        assert!(text.contains("not certified"), "{text}");
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod chart;
 pub mod csv;
+pub mod diff;
 pub mod gnuplot;
 pub mod metrics;
 pub mod perf;

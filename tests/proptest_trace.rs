@@ -63,10 +63,8 @@ fn same_seed_runs_trace_identically() {
                 &[&s],
                 RunOptions {
                     start_times: Some(skew),
-                    cpu_noise: None,
                     record_trace: true,
-                    profile: false,
-                    provenance: false,
+                    ..RunOptions::default()
                 },
             )
             .expect("observed run")
