@@ -32,63 +32,26 @@ use obs::critpath::Blame;
 use obs::{Json, MetricsRegistry};
 use report::Table;
 
-struct Args {
-    machine: Option<Machine>,
-    op: Option<OpClass>,
-    p: usize,
-    m: u32,
-    out_dir: String,
-    suite: bool,
-    threads: usize,
-    trace_cap: Option<usize>,
-}
-
-fn parse_machine(name: &str) -> Option<Machine> {
-    match name.to_ascii_lowercase().as_str() {
-        "sp2" => Some(Machine::sp2()),
-        "t3d" => Some(Machine::t3d()),
-        "paragon" => Some(Machine::paragon()),
-        _ => None,
-    }
-}
-
-fn parse_op(name: &str) -> Option<OpClass> {
-    let lower = name.to_ascii_lowercase();
-    OpClass::from_key(&lower).or_else(|| {
-        OpClass::ALL
-            .into_iter()
-            .find(|op| op.paper_name().to_ascii_lowercase() == lower)
-    })
-}
+use bench::cli::{Accept, PointCli};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: critpath --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--trace-cap N]\n       critpath --suite [--threads N] [--out DIR] [--trace-cap N]"
+        "usage: critpath {} [--out DIR] [--trace-cap N]\n       critpath --suite [--threads N] [--out DIR] [--trace-cap N]",
+        bench::cli::POINT_USAGE
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut machine = None;
-    let mut op = None;
-    let mut p = 64usize;
-    let mut m = 4096u32;
-    let mut out_dir = ".".to_string();
-    let mut suite = false;
-    let mut threads = 1usize;
-    let mut trace_cap = None;
+fn parse_args() -> PointCli {
+    let mut cli = PointCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut value = || args.next().unwrap_or_else(|| usage());
+        match cli.accept(&a, || args.next()) {
+            Accept::Consumed => continue,
+            Accept::Invalid => usage(),
+            Accept::Unknown => {}
+        }
         match a.as_str() {
-            "--machine" => machine = parse_machine(&value()),
-            "--op" => op = parse_op(&value()),
-            "-p" | "--nodes" => p = value().parse().unwrap_or_else(|_| usage()),
-            "-m" | "--bytes" => m = value().parse().unwrap_or_else(|_| usage()),
-            "--out" => out_dir = value(),
-            "--suite" => suite = true,
-            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
-            "--trace-cap" => trace_cap = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -96,19 +59,10 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !suite && (machine.is_none() || op.is_none()) {
+    if !cli.selection_ok() {
         usage();
     }
-    Args {
-        machine,
-        op,
-        p,
-        m,
-        out_dir,
-        suite,
-        threads,
-        trace_cap,
-    }
+    cli
 }
 
 /// One analyzed point: the critical path plus everything needed to
@@ -341,16 +295,16 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
 }
 
 fn main() {
-    let args = parse_args();
-    if args.suite {
-        run_suite(&args.out_dir, args.threads, args.trace_cap);
+    let cli = parse_args();
+    if cli.suite {
+        run_suite(cli.out_dir(), cli.threads, cli.trace_cap);
         return;
     }
 
-    let machine = args.machine.as_ref().expect("checked in parse_args");
-    let op = args.op.expect("checked in parse_args");
-    let bytes = if op == OpClass::Barrier { 0 } else { args.m };
-    let a = analyze_point(machine, op, args.p, args.m, args.trace_cap);
+    let machine = cli.machine.as_ref().expect("checked in parse_args");
+    let op = cli.op.expect("checked in parse_args");
+    let bytes = if op == OpClass::Barrier { 0 } else { cli.m };
+    let a = analyze_point(machine, op, cli.p, cli.m, cli.trace_cap);
 
     println!("{}", report::metrics::render(&a.manifest, &a.reg));
     println!();
@@ -378,12 +332,12 @@ fn main() {
         100.0 * a.cp.census.fraction()
     );
 
-    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
-    let file_stem = stem(machine, op, args.p, bytes);
-    let trace_path = format!("{}/{file_stem}.trace.json", args.out_dir);
-    let json_path = format!("{}/{file_stem}.critpath.json", args.out_dir);
+    std::fs::create_dir_all(cli.out_dir()).expect("create output directory");
+    let file_stem = stem(machine, op, cli.p, bytes);
+    let trace_path = format!("{}/{file_stem}.trace.json", cli.out_dir());
+    let json_path = format!("{}/{file_stem}.critpath.json", cli.out_dir());
     std::fs::write(&trace_path, a.trace.to_json_string()).expect("write trace");
-    let doc = decomposition_json(machine, op, args.p, args.m, &a.cp);
+    let doc = decomposition_json(machine, op, cli.p, cli.m, &a.cp);
     std::fs::write(&json_path, doc.to_string_pretty()).expect("write decomposition");
     println!("wrote {trace_path} ({} events)", a.trace.len());
     println!("wrote {json_path}");

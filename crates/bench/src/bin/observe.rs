@@ -35,66 +35,28 @@ use mpisim::comm::RunOptions;
 use mpisim::{observe, Machine, OpClass, Rank};
 use obs::MetricsRegistry;
 
-struct Args {
-    machine: Option<Machine>,
-    op: Option<OpClass>,
-    p: usize,
-    m: u32,
-    out_dir: String,
-    profile: bool,
-    suite: bool,
-    threads: usize,
-    trace_cap: Option<usize>,
-}
-
-fn parse_machine(name: &str) -> Option<Machine> {
-    match name.to_ascii_lowercase().as_str() {
-        "sp2" => Some(Machine::sp2()),
-        "t3d" => Some(Machine::t3d()),
-        "paragon" => Some(Machine::paragon()),
-        _ => None,
-    }
-}
-
-fn parse_op(name: &str) -> Option<OpClass> {
-    let lower = name.to_ascii_lowercase();
-    OpClass::from_key(&lower).or_else(|| {
-        OpClass::ALL
-            .into_iter()
-            .find(|op| op.paper_name().to_ascii_lowercase() == lower)
-    })
-}
+use bench::cli::{Accept, PointCli};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: observe --machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes> [--out DIR] [--profile] [--trace-cap N]\n       observe --suite [--threads N] [--out DIR] [--trace-cap N]"
+        "usage: observe {} [--out DIR] [--profile] [--trace-cap N]\n       observe --suite [--threads N] [--out DIR] [--trace-cap N]",
+        bench::cli::POINT_USAGE
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut machine = None;
-    let mut op = None;
-    let mut p = 64usize;
-    let mut m = 4096u32;
-    let mut out_dir = ".".to_string();
+fn parse_args() -> (PointCli, bool) {
+    let mut cli = PointCli::default();
     let mut profile = false;
-    let mut suite = false;
-    let mut threads = 1usize;
-    let mut trace_cap = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut value = || args.next().unwrap_or_else(|| usage());
+        match cli.accept(&a, || args.next()) {
+            Accept::Consumed => continue,
+            Accept::Invalid => usage(),
+            Accept::Unknown => {}
+        }
         match a.as_str() {
-            "--machine" => machine = parse_machine(&value()),
-            "--op" => op = parse_op(&value()),
-            "-p" | "--nodes" => p = value().parse().unwrap_or_else(|_| usage()),
-            "-m" | "--bytes" => m = value().parse().unwrap_or_else(|_| usage()),
-            "--out" => out_dir = value(),
             "--profile" => profile = true,
-            "--suite" => suite = true,
-            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
-            "--trace-cap" => trace_cap = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -102,20 +64,10 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !suite && (machine.is_none() || op.is_none()) {
+    if !cli.selection_ok() {
         usage();
     }
-    Args {
-        machine,
-        op,
-        p,
-        m,
-        out_dir,
-        profile,
-        suite,
-        threads,
-        trace_cap,
-    }
+    (cli, profile)
 }
 
 /// One shade per link, busy time normalized against the hottest link.
@@ -245,7 +197,7 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
                 pt.op,
                 pt.nodes,
                 pt.bytes,
-                false,
+                mpisim::TieBreakPolicy::InsertionOrder,
                 trace_cap,
             );
             let file_stem = stem(&pt.machine, pt.op, pt.nodes, pt.bytes);
@@ -310,26 +262,26 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
 }
 
 fn main() {
-    let args = parse_args();
-    if args.suite {
-        run_suite(&args.out_dir, args.threads, args.trace_cap);
+    let (cli, profile) = parse_args();
+    if cli.suite {
+        run_suite(cli.out_dir(), cli.threads, cli.trace_cap);
         return;
     }
 
-    let machine = args.machine.as_ref().expect("checked in parse_args");
-    let op = args.op.expect("checked in parse_args");
-    let bytes = if op == OpClass::Barrier { 0 } else { args.m };
+    let machine = cli.machine.as_ref().expect("checked in parse_args");
+    let op = cli.op.expect("checked in parse_args");
+    let bytes = if op == OpClass::Barrier { 0 } else { cli.m };
     let options = RunOptions {
-        profile: args.profile,
-        trace_limit: args.trace_cap,
+        profile,
+        trace_limit: cli.trace_cap,
         ..RunOptions::default()
     };
-    let point = observe_point(machine, op, args.p, args.m, options);
+    let point = observe_point(machine, op, cli.p, cli.m, options);
 
-    let file_stem = stem(machine, op, args.p, bytes);
-    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
-    let trace_path = format!("{}/{file_stem}.trace.json", args.out_dir);
-    let metrics_path = format!("{}/{file_stem}.metrics.json", args.out_dir);
+    let file_stem = stem(machine, op, cli.p, bytes);
+    std::fs::create_dir_all(cli.out_dir()).expect("create output directory");
+    let trace_path = format!("{}/{file_stem}.trace.json", cli.out_dir());
+    let metrics_path = format!("{}/{file_stem}.metrics.json", cli.out_dir());
 
     std::fs::write(&trace_path, point.trace.to_json_string()).expect("write trace");
     std::fs::write(&metrics_path, &point.snapshot).expect("write metrics");

@@ -239,8 +239,20 @@ fn run_suite(args: &Args) -> bool {
         args.threads,
         |i| {
             let pt = &suite[i];
-            let a = bench::diffsuite::record_suite_point(pt, false, args.trace_cap);
-            let b = bench::diffsuite::record_suite_point(pt, args.perturb, args.trace_cap);
+            let a = bench::diffsuite::record_suite_point(
+                pt,
+                mpisim::TieBreakPolicy::InsertionOrder,
+                args.trace_cap,
+            );
+            let b = bench::diffsuite::record_suite_point(
+                pt,
+                if args.perturb {
+                    mpisim::TieBreakPolicy::InvertAll
+                } else {
+                    mpisim::TieBreakPolicy::InsertionOrder
+                },
+                args.trace_cap,
+            );
             let diff = obs::diff::diff(&a, &b);
             let ok = diff.verdict == obs::Verdict::ByteIdentical && diff.certified;
             let rendered = report::diff::render_report(&pt.label(), &diff);

@@ -1,0 +1,183 @@
+//! Shared command-line vocabulary for the observability drivers
+//! (`observe`, `critpath`, `tracediff`, `ordercheck`): machine / op
+//! name resolution and the common point-selection flags, parsed once
+//! here instead of re-implemented per binary.
+//!
+//! Binaries keep their own argument loop (each has extra flags and its
+//! own usage text) and feed every flag through [`PointCli::accept`]
+//! first; only unrecognized flags fall through to the binary's match.
+
+use mpisim::{Machine, OpClass};
+
+/// Resolves a machine key (`sp2`, `t3d`, `paragon`; case-insensitive).
+pub fn parse_machine(name: &str) -> Option<Machine> {
+    match name.to_ascii_lowercase().as_str() {
+        "sp2" => Some(Machine::sp2()),
+        "t3d" => Some(Machine::t3d()),
+        "paragon" => Some(Machine::paragon()),
+        _ => None,
+    }
+}
+
+/// Resolves a collective by key (`bcast`, `alltoall`, …) or by its
+/// paper display name (case-insensitive).
+pub fn parse_op(name: &str) -> Option<OpClass> {
+    let lower = name.to_ascii_lowercase();
+    OpClass::from_key(&lower).or_else(|| {
+        OpClass::ALL
+            .into_iter()
+            .find(|op| op.paper_name().to_ascii_lowercase() == lower)
+    })
+}
+
+/// The canonical point-selection usage fragment.
+pub const POINT_USAGE: &str =
+    "--machine <sp2|t3d|paragon> --op <bcast|scatter|gather|reduce|scan|alltoall|barrier> -p <nodes> -m <bytes>";
+
+/// Outcome of offering one flag to [`PointCli::accept`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accept {
+    /// The flag (and its value, if any) was consumed.
+    Consumed,
+    /// Not a shared flag — the binary should handle it.
+    Unknown,
+    /// A shared flag with a missing or malformed value: print usage.
+    Invalid,
+}
+
+/// The point-selection flags every driver shares: a single
+/// (machine, op, p, m) point or `--suite`, plus output directory,
+/// worker count, and trace cap.
+#[derive(Debug, Clone)]
+pub struct PointCli {
+    /// `--machine` (required unless `--suite`).
+    pub machine: Option<Machine>,
+    /// `--op` (required unless `--suite`).
+    pub op: Option<OpClass>,
+    /// `-p` / `--nodes` (default 64, the paper's largest partition).
+    pub p: usize,
+    /// `-m` / `--bytes` (default 4096, the suite's representative size).
+    pub m: u32,
+    /// `--out`; `None` when not given (see [`PointCli::out_dir`]).
+    pub out: Option<String>,
+    /// `--suite`: run the fixed 21-point grid instead of one point.
+    pub suite: bool,
+    /// `--threads` (default 1).
+    pub threads: usize,
+    /// `--trace-cap`.
+    pub trace_cap: Option<usize>,
+}
+
+impl Default for PointCli {
+    fn default() -> Self {
+        PointCli {
+            machine: None,
+            op: None,
+            p: 64,
+            m: 4096,
+            out: None,
+            suite: false,
+            threads: 1,
+            trace_cap: None,
+        }
+    }
+}
+
+impl PointCli {
+    /// Offers one flag; `value` yields the following argument when the
+    /// flag takes one.
+    pub fn accept(&mut self, flag: &str, mut value: impl FnMut() -> Option<String>) -> Accept {
+        let mut need = |out: &mut dyn FnMut(&str) -> bool| match value() {
+            Some(v) if out(&v) => Accept::Consumed,
+            _ => Accept::Invalid,
+        };
+        match flag {
+            "--machine" => need(&mut |v| {
+                self.machine = parse_machine(v);
+                self.machine.is_some()
+            }),
+            "--op" => need(&mut |v| {
+                self.op = parse_op(v);
+                self.op.is_some()
+            }),
+            "-p" | "--nodes" => need(&mut |v| v.parse().map(|n| self.p = n).is_ok()),
+            "-m" | "--bytes" => need(&mut |v| v.parse().map(|n| self.m = n).is_ok()),
+            "--out" => need(&mut |v| {
+                self.out = Some(v.to_string());
+                true
+            }),
+            "--threads" => need(&mut |v| v.parse().map(|n| self.threads = n).is_ok()),
+            "--trace-cap" => need(&mut |v| v.parse().map(|n| self.trace_cap = Some(n)).is_ok()),
+            "--suite" => {
+                self.suite = true;
+                Accept::Consumed
+            }
+            _ => Accept::Unknown,
+        }
+    }
+
+    /// True when the selection is complete: either `--suite` or both
+    /// `--machine` and `--op`.
+    pub fn selection_ok(&self) -> bool {
+        self.suite || (self.machine.is_some() && self.op.is_some())
+    }
+
+    /// The output directory, defaulting to the current directory.
+    pub fn out_dir(&self) -> &str {
+        self.out.as_deref().unwrap_or(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_and_op_names_resolve() {
+        assert_eq!(
+            parse_machine("T3D")
+                .map(|m| m.name().to_string())
+                .as_deref(),
+            Some("Cray T3D")
+        );
+        assert!(parse_machine("cm5").is_none());
+        assert_eq!(parse_op("alltoall"), Some(OpClass::Alltoall));
+        assert_eq!(parse_op("Broadcast"), parse_op("bcast"));
+        assert!(parse_op("gossip").is_none());
+    }
+
+    #[test]
+    fn accept_consumes_shared_flags_and_rejects_bad_values() {
+        let mut cli = PointCli::default();
+        assert_eq!(
+            cli.accept("--machine", || Some("sp2".into())),
+            Accept::Consumed
+        );
+        assert_eq!(cli.accept("--op", || Some("scan".into())), Accept::Consumed);
+        assert_eq!(cli.accept("-p", || Some("16".into())), Accept::Consumed);
+        assert_eq!(cli.accept("-m", || Some("512".into())), Accept::Consumed);
+        assert_eq!(
+            cli.accept("--threads", || Some("4".into())),
+            Accept::Consumed
+        );
+        assert!(cli.selection_ok());
+        assert_eq!((cli.p, cli.m, cli.threads), (16, 512, 4));
+        assert_eq!(cli.accept("--demo-broken", || None), Accept::Unknown);
+        assert_eq!(cli.accept("-p", || Some("lots".into())), Accept::Invalid);
+        assert_eq!(cli.accept("--machine", || None), Accept::Invalid);
+    }
+
+    #[test]
+    fn selection_requires_point_or_suite() {
+        let mut cli = PointCli::default();
+        assert!(!cli.selection_ok());
+        assert_eq!(cli.accept("--suite", || None), Accept::Consumed);
+        assert!(cli.selection_ok());
+        assert_eq!(cli.out_dir(), ".");
+        assert_eq!(
+            cli.accept("--out", || Some("bench".into())),
+            Accept::Consumed
+        );
+        assert_eq!(cli.out_dir(), "bench");
+    }
+}

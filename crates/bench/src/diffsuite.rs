@@ -5,20 +5,22 @@
 //! compare.
 
 use crate::perfgate::{default_suite, SuitePoint};
-use mpisim::exec::ExecConfig;
+use mpisim::exec::{ExecConfig, TieBreakPolicy};
 use mpisim::{Machine, OpClass, Rank};
 use obs::{MetricsRegistry, RunRecord};
 
 /// Runs one point fully instrumented and builds its run record. Pure:
-/// same inputs produce byte-identical serialized records.
-/// `invert_ties` applies the seeded FIFO tie-break inversion (the
-/// eager-delivery failure mode) for differential demonstrations.
+/// same inputs produce byte-identical serialized records. A non-default
+/// `tie_break` applies the chosen same-instant perturbation
+/// ([`TieBreakPolicy::InvertAll`] is the seeded eager-delivery failure
+/// mode used for differential demonstrations) and marks it in the
+/// record's `perturb` meta key.
 pub fn record_point(
     machine: &Machine,
     op: OpClass,
     p: usize,
     m: u32,
-    invert_ties: bool,
+    tie_break: TieBreakPolicy,
     trace_limit: Option<usize>,
 ) -> RunRecord {
     let bytes = if op == OpClass::Barrier { 0 } else { m };
@@ -31,7 +33,7 @@ pub fn record_point(
         trace_limit,
         provenance: true,
         event_log: true,
-        invert_ties,
+        tie_break,
         ..ExecConfig::default()
     };
     let (out, observed) =
@@ -45,8 +47,21 @@ pub fn record_point(
     rec.meta.insert("op".into(), op.key().into());
     rec.meta.insert("p".into(), p.to_string());
     rec.meta.insert("m".into(), bytes.to_string());
-    if invert_ties {
-        rec.meta.insert("perturb".into(), "invert_ties".into());
+    match tie_break {
+        TieBreakPolicy::InsertionOrder => {}
+        TieBreakPolicy::InvertAll => {
+            rec.meta.insert("perturb".into(), "invert_ties".into());
+        }
+        TieBreakPolicy::InvertPair {
+            at_ns,
+            first_seq,
+            second_seq,
+        } => {
+            rec.meta.insert(
+                "perturb".into(),
+                format!("invert_pair@{at_ns}ns:{first_seq}<->{second_seq}"),
+            );
+        }
     }
     rec
 }
@@ -54,7 +69,7 @@ pub fn record_point(
 /// [`record_point`] over a [`SuitePoint`].
 pub fn record_suite_point(
     pt: &SuitePoint,
-    invert_ties: bool,
+    tie_break: TieBreakPolicy,
     trace_limit: Option<usize>,
 ) -> RunRecord {
     record_point(
@@ -62,7 +77,7 @@ pub fn record_suite_point(
         pt.op,
         pt.nodes,
         pt.bytes,
-        invert_ties,
+        tie_break,
         trace_limit,
     )
 }

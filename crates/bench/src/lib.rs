@@ -34,6 +34,7 @@ use mpisim::{Machine, OpClass};
 use perfmodel::paper;
 use std::time::Instant;
 
+pub mod cli;
 pub mod diffsuite;
 pub mod perfgate;
 

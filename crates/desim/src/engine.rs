@@ -176,6 +176,19 @@ impl<W> Scheduler<W> {
     }
 }
 
+/// A targeted same-instant inversion: fire the event with seq `second`
+/// *before* the event with seq `first` at instant `at_ns`, leaving every
+/// other firing decision untouched. This is the minimal perturbation the
+/// commutativity explorer (`ordercheck`) replays — one adjacent
+/// transposition in an otherwise identical run.
+#[derive(Debug, Clone, Copy)]
+struct TieSwap {
+    at_ns: u64,
+    first: u64,
+    second: u64,
+    applied: bool,
+}
+
 /// The pending-event set: a binary heap by default, or a calendar queue
 /// for heavily loaded simulations (identical ordering semantics).
 enum Queue<W> {
@@ -356,6 +369,17 @@ pub struct Engine<W> {
     /// Canonical fired-event log; `None` (the default) costs one branch
     /// per step. See [`Engine::with_event_log`].
     elog: Option<Box<EventLog>>,
+    /// Targeted same-instant inversion; `None` (the default) costs one
+    /// branch per step. See [`Engine::with_tie_swap`].
+    swap: Option<TieSwap>,
+    /// The deferred half of an engaged tie swap: popped first, fired
+    /// second.
+    held: Option<Scheduled<W>>,
+    /// Last `(time_ns, seq)` the queue yielded, for the pop-order
+    /// invariant check (debug builds only): pops must be strictly
+    /// increasing — ties break by insertion order.
+    #[cfg(debug_assertions)]
+    last_pop: Option<(u64, u64)>,
 }
 
 impl<W> Default for Engine<W> {
@@ -399,6 +423,10 @@ impl<W> Engine<W> {
             queue_high_water: 0,
             prof: None,
             elog: None,
+            swap: None,
+            held: None,
+            #[cfg(debug_assertions)]
+            last_pop: None,
         }
     }
 
@@ -454,6 +482,32 @@ impl<W> Engine<W> {
         self.elog.as_deref()
     }
 
+    /// Arms a targeted same-instant inversion: when the event with seq
+    /// `first` is popped at instant `at` and the next pending event is
+    /// the one with seq `second` at the same instant, the two fire in
+    /// swapped order. Everything else — timing, all other ties — is
+    /// untouched, so the run is the minimal adjacent transposition of
+    /// the unperturbed one. Used by the `ordercheck` commutativity
+    /// explorer; like the other instrumentation switches, `None` (the
+    /// default) costs one branch per step.
+    pub fn with_tie_swap(mut self, at: SimTime, first_seq: u64, second_seq: u64) -> Self {
+        self.swap = Some(TieSwap {
+            at_ns: at.as_nanos(),
+            first: first_seq,
+            second: second_seq,
+            applied: false,
+        });
+        self
+    }
+
+    /// Whether the armed tie swap actually fired: `None` when no swap
+    /// was requested, `Some(false)` when the targeted pair never
+    /// appeared adjacently at the given instant (the run was NOT
+    /// perturbed), `Some(true)` when the inversion was applied.
+    pub fn tie_swap_applied(&self) -> Option<bool> {
+        self.swap.map(|s| s.applied)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.scheduler.now
@@ -507,7 +561,7 @@ impl<W> Engine<W> {
 
     /// True when no events remain.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.scheduler.pending.is_empty()
+        self.queue.is_empty() && self.scheduler.pending.is_empty() && self.held.is_none()
     }
 
     /// Posts a typed event after `delay` from the current clock — the
@@ -587,8 +641,14 @@ impl<W: EventWorld> Engine<W> {
     ///
     /// Panics if the event-count backstop is exceeded.
     pub fn step(&mut self, world: &mut W) -> bool {
-        let Some(ev) = self.queue.pop() else {
-            return false;
+        let ev = match self.held.take() {
+            Some(held) => held,
+            None => {
+                let Some(popped) = self.pop_checked() else {
+                    return false;
+                };
+                self.maybe_swap(popped)
+            }
         };
         assert!(
             self.fired < self.event_limit,
@@ -636,6 +696,68 @@ impl<W: EventWorld> Engine<W> {
         true
     }
 
+    /// Pops the earliest pending event, checking (in debug builds) the
+    /// engine's ordering invariant: successive pops yield strictly
+    /// increasing `(time_ns, seq)` — ties break by insertion order, on
+    /// both queue backends. A queue refactor that breaks this fails
+    /// loudly in tests instead of via silent trace drift.
+    fn pop_checked(&mut self) -> Option<Scheduled<W>> {
+        let ev = self.queue.pop()?;
+        #[cfg(debug_assertions)]
+        {
+            let key = (ev.at.as_nanos(), ev.seq);
+            if let Some(last) = self.last_pop {
+                debug_assert!(
+                    key > last,
+                    "queue pop order violated the insertion-order tie-break: \
+                     popped (t={}ns, seq={}) after (t={}ns, seq={})",
+                    key.0,
+                    key.1,
+                    last.0,
+                    last.1
+                );
+            }
+            self.last_pop = Some(key);
+        }
+        Some(ev)
+    }
+
+    /// If `ev` is the first half of the armed tie swap and its partner
+    /// is the immediately next pending event at the same instant, holds
+    /// `ev` for the following step and returns the partner to fire
+    /// first. Otherwise returns `ev` unchanged.
+    fn maybe_swap(&mut self, ev: Scheduled<W>) -> Scheduled<W> {
+        let Some(swap) = self.swap else {
+            return ev;
+        };
+        if swap.applied || ev.at.as_nanos() != swap.at_ns || ev.seq != swap.first {
+            return ev;
+        }
+        #[cfg(debug_assertions)]
+        let before = self.last_pop;
+        match self.pop_checked() {
+            Some(partner) if partner.at == ev.at && partner.seq == swap.second => {
+                if let Some(s) = &mut self.swap {
+                    s.applied = true;
+                }
+                self.held = Some(ev);
+                partner
+            }
+            Some(other) => {
+                // Not the targeted partner — push it back untouched (the
+                // re-pop of the same key is exempt from the ordering
+                // invariant).
+                #[cfg(debug_assertions)]
+                {
+                    self.last_pop = before;
+                }
+                self.queue.push(other);
+                ev
+            }
+            None => ev,
+        }
+    }
+
     /// Runs until no events remain. Returns the final clock value.
     ///
     /// With profiling enabled the loop is wrapped in a wall-clock timer,
@@ -659,13 +781,18 @@ impl<W: EventWorld> Engine<W> {
     /// Runs until the clock would pass `deadline` or the queue empties.
     /// Events at exactly `deadline` do fire.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
-        while let Some(at) = self.queue.peek_at() {
+        loop {
+            let at = match (&self.held, self.queue.peek_at()) {
+                (Some(h), _) => h.at,
+                (None, Some(at)) => at,
+                (None, None) => break,
+            };
             if at > deadline {
                 break;
             }
             self.step(world);
         }
-        if self.scheduler.now < deadline && self.queue.is_empty() {
+        if self.scheduler.now < deadline && self.is_idle() {
             // Idle until the deadline.
             self.scheduler.now = deadline;
         }
@@ -716,6 +843,74 @@ mod tests {
             w.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
             vec!["first", "second", "third"]
         );
+    }
+
+    #[test]
+    fn tie_swap_inverts_exactly_one_adjacent_pair() {
+        for calendar in [false, true] {
+            let mut e = if calendar {
+                Engine::with_calendar_queue()
+            } else {
+                Engine::new()
+            }
+            .with_tie_swap(SimTime::from_nanos(5), 0, 1);
+            let mut w: World = Vec::new();
+            for label in ["first", "second", "third"] {
+                e.schedule_at(SimTime::from_nanos(5), record(label));
+            }
+            e.run(&mut w);
+            assert_eq!(
+                w.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+                vec!["second", "first", "third"],
+                "calendar={calendar}"
+            );
+            assert_eq!(e.tie_swap_applied(), Some(true));
+        }
+    }
+
+    #[test]
+    fn tie_swap_missing_partner_leaves_run_untouched() {
+        for calendar in [false, true] {
+            // Targets seqs (0, 2), but seq 1 sits between them: the swap
+            // must not engage and the order must be the insertion order.
+            let mut e = if calendar {
+                Engine::with_calendar_queue()
+            } else {
+                Engine::new()
+            }
+            .with_tie_swap(SimTime::from_nanos(5), 0, 2);
+            let mut w: World = Vec::new();
+            for label in ["first", "second", "third"] {
+                e.schedule_at(SimTime::from_nanos(5), record(label));
+            }
+            e.run(&mut w);
+            assert_eq!(
+                w.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+                vec!["first", "second", "third"],
+                "calendar={calendar}"
+            );
+            assert_eq!(e.tie_swap_applied(), Some(false));
+        }
+    }
+
+    #[test]
+    fn tie_swap_wrong_instant_never_engages() {
+        let mut e = Engine::new().with_tie_swap(SimTime::from_nanos(99), 0, 1);
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(5), record("a"));
+        e.schedule_at(SimTime::from_nanos(5), record("b"));
+        e.run(&mut w);
+        assert_eq!(w, vec![(5, "a"), (5, "b")]);
+        assert_eq!(e.tie_swap_applied(), Some(false));
+    }
+
+    #[test]
+    fn no_swap_reports_none() {
+        let mut e = Engine::new();
+        let mut w: World = Vec::new();
+        e.schedule_at(SimTime::from_nanos(1), record("x"));
+        e.run(&mut w);
+        assert_eq!(e.tie_swap_applied(), None);
     }
 
     #[test]

@@ -120,6 +120,37 @@ pub struct LoggedEvent {
     pub b: u64,
 }
 
+impl LoggedEvent {
+    /// Decodes the logged `(kind, a, b)` triple back into the
+    /// [`TypedEvent`] it encoded — the inverse of [`encode`]. Returns
+    /// `None` for [`EventKind::Dyn`], whose payload is unrecordable.
+    pub fn typed(&self) -> Option<TypedEvent> {
+        let ev = match self.kind {
+            EventKind::RankResume => TypedEvent::RankResume {
+                rank: self.a as u32,
+            },
+            EventKind::MessageReady => TypedEvent::MessageReady {
+                src: self.a as u32,
+                dst: self.b as u32,
+            },
+            EventKind::LinkGrant => TypedEvent::LinkGrant {
+                link: self.a as u32,
+                grantee: self.b as u32,
+            },
+            EventKind::ScheduleStep => TypedEvent::ScheduleStep {
+                rank: self.a as u32,
+                step: self.b as u32,
+            },
+            EventKind::Timer => TypedEvent::Timer { id: self.a },
+            EventKind::Continuation => TypedEvent::Continuation {
+                slot: self.a as u32,
+            },
+            EventKind::Dyn => return None,
+        };
+        Some(ev)
+    }
+}
+
 /// Encodes an event payload into its canonical `(kind, a, b)` triple.
 pub fn encode<W>(ev: &Event<W>) -> (EventKind, u64, u64) {
     match ev {

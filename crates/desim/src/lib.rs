@@ -55,6 +55,7 @@ pub mod check;
 pub mod engine;
 pub mod event;
 pub mod eventlog;
+pub mod footprint;
 pub mod provenance;
 pub mod resource;
 pub mod rng;
@@ -65,6 +66,7 @@ pub use calqueue::CalendarQueue;
 pub use engine::{Engine, EngineProfile, EventFn, Scheduler};
 pub use event::{Event, EventStats, EventWorld, TypedEvent};
 pub use eventlog::{EventKind, EventLog, LoggedEvent};
+pub use footprint::{Footprint, Resource};
 pub use provenance::{ProvRecord, Provenance};
 pub use resource::{FifoResource, Grant, ResourcePool};
 pub use rng::SplitMix64;

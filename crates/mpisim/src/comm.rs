@@ -347,7 +347,7 @@ impl Communicator {
             profile: options.profile,
             provenance: options.provenance,
             event_log: options.event_log,
-            invert_ties: false,
+            tie_break: crate::exec::TieBreakPolicy::InsertionOrder,
             group: match &self.scope {
                 CommScope::Whole => None,
                 CommScope::Group {

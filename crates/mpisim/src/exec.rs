@@ -74,13 +74,46 @@ pub struct ExecConfig {
     /// [`Observed::event_log`] on observed runs — the input to run-record
     /// serialization and `obs::diff`. Zero cost when off.
     pub event_log: bool,
-    /// Deliberately invert the send-completion tie-break: post the CPU
-    /// release *before* the delivery event (the reverse of the committed
-    /// order in `post_send`). Same-instant FIFO ties then fire in the
-    /// opposite order — the exact failure mode of the abandoned
-    /// eager-delivery prototype. Exists solely so differential tests and
-    /// `tracediff --perturb` can produce a known-divergent run.
-    pub invert_ties: bool,
+    /// How same-instant event ties are broken — see [`TieBreakPolicy`].
+    /// The default ([`TieBreakPolicy::InsertionOrder`]) is the committed
+    /// deterministic order; the other policies exist solely so
+    /// differential tests, `tracediff --perturb`, and the `ordercheck`
+    /// commutativity explorer can produce controlled perturbations.
+    pub tie_break: TieBreakPolicy,
+}
+
+/// Same-instant tie-break policy for an execution.
+///
+/// Generalizes the old `invert_ties: bool` flag: `InvertAll` is the old
+/// `true` (every send's delivery/release post order reversed — the
+/// eager-delivery failure mode), while [`TieBreakPolicy::InvertPair`]
+/// inverts exactly one targeted adjacent pair, leaving every other
+/// firing decision untouched — the minimal reproducible perturbation
+/// the `ordercheck` explorer replays per candidate pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TieBreakPolicy {
+    /// The committed deterministic order: ties fire in insertion order.
+    #[default]
+    InsertionOrder,
+    /// Deliberately invert the send-completion tie-break on *every*
+    /// send: post the CPU release before the delivery event (the
+    /// reverse of the committed order in `post_send`). Same-instant
+    /// FIFO ties then fire in the opposite order — the exact failure
+    /// mode of the abandoned eager-delivery prototype.
+    InvertAll,
+    /// Invert exactly one same-instant adjacent pair, identified by the
+    /// firing instant and the scheduling seqs of the two events (from a
+    /// baseline run's [`desim::EventLog`]). Plumbs through to
+    /// [`desim::Engine::with_tie_swap`]; whether the swap actually
+    /// engaged is reported via [`Observed::tie_swap_applied`].
+    InvertPair {
+        /// The shared firing instant, in nanoseconds.
+        at_ns: u64,
+        /// Scheduling seq of the event that fires first in the baseline.
+        first_seq: u64,
+        /// Scheduling seq of the event that fires immediately after it.
+        second_seq: u64,
+    },
 }
 
 /// Background-interference model: per-rank CPU slowdown.
@@ -224,6 +257,10 @@ pub struct Observed {
     /// Canonical fired-event stream, when [`ExecConfig::event_log`] was
     /// set.
     pub event_log: Option<desim::EventLog>,
+    /// Whether a [`TieBreakPolicy::InvertPair`] swap actually engaged:
+    /// `None` when no pair inversion was requested, `Some(false)` when
+    /// the targeted pair never appeared adjacently (run unperturbed).
+    pub tie_swap_applied: Option<bool>,
 }
 
 /// The outcome of executing a schedule sequence.
@@ -341,7 +378,7 @@ struct World {
     dropped: u64,
     /// Phase-span sink, allocated only under [`execute_observed`].
     spans: Option<Vec<PhaseSpan>>,
-    /// See [`ExecConfig::invert_ties`].
+    /// See [`TieBreakPolicy::InvertAll`].
     invert_ties: bool,
 }
 
@@ -503,7 +540,7 @@ fn execute_inner(
         trace_cap: cfg.trace_limit.unwrap_or(DEFAULT_TRACE_LIMIT),
         dropped: 0,
         spans: observe.then(Vec::new),
-        invert_ties: cfg.invert_ties,
+        invert_ties: cfg.tie_break == TieBreakPolicy::InvertAll,
     };
     if observe {
         world.net.enable_instrumentation();
@@ -517,6 +554,14 @@ fn execute_inner(
     }
     if cfg.event_log {
         engine = engine.with_event_log();
+    }
+    if let TieBreakPolicy::InvertPair {
+        at_ns,
+        first_seq,
+        second_seq,
+    } = cfg.tie_break
+    {
+        engine = engine.with_tie_swap(SimTime::from_nanos(at_ns), first_seq, second_seq);
     }
     for (r, &t) in start.iter().enumerate() {
         engine.post_at(t, TypedEvent::RankResume { rank: r as u32 });
@@ -558,6 +603,7 @@ fn execute_inner(
         engine_profile: engine.profile().cloned(),
         provenance: engine.provenance().cloned(),
         event_log: engine.event_log().cloned(),
+        tie_swap_applied: engine.tie_swap_applied(),
     });
     let phases = world
         .ranks

@@ -43,7 +43,7 @@ pub use datatype::Datatype;
 pub use error::SimMpiError;
 pub use exec::{
     execute, execute_observed, CpuNoise, ExecConfig, ExecOutcome, MessageTrace, Observed,
-    PhaseKind, PhaseSpan, RankPhases,
+    PhaseKind, PhaseSpan, RankPhases, TieBreakPolicy,
 };
 pub use machine::{AlgorithmPolicy, Machine};
 pub use netmodel::{MachineId, OpClass, WireConfig};

@@ -198,7 +198,7 @@ mod tests {
             record_trace: true,
             provenance: true,
             event_log: true,
-            invert_ties: true,
+            tie_break: crate::exec::TieBreakPolicy::InvertAll,
             ..crate::exec::ExecConfig::default()
         };
         let (out_b, obs_b) =

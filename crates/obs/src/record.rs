@@ -160,6 +160,55 @@ impl RunRecord {
             && self.finish_ns == other.finish_ns
     }
 
+    /// The order-insensitive canonical form — the *commutation oracle*
+    /// of the `ordercheck` explorer.
+    ///
+    /// A safe same-instant inversion still permutes the raw event
+    /// stream (the two swapped events, plus the scheduling seqs of
+    /// everything they spawn), so raw byte equality would report every
+    /// explored inversion as divergent. What a commuting swap *cannot*
+    /// change is the multiset of fired events and their instants, the
+    /// transfers' timings, the span timeline, and the finish matrix.
+    /// This method projects the record onto exactly that: seqs and
+    /// parent edges are cleared, events/transfers/spans are sorted by
+    /// their payload-and-time keys, and the host-side `meta`/`metrics`
+    /// maps (which carry run labels and wall-clock noise) are dropped.
+    /// Two runs whose canonicalized records serialize to identical
+    /// bytes are semantically the same execution up to tie order.
+    pub fn canonicalized(&self) -> RunRecord {
+        let mut c = self.clone();
+        c.meta.clear();
+        c.metrics.clear();
+        for e in &mut c.events {
+            e.seq = 0;
+            e.parent = None;
+        }
+        c.events
+            .sort_by(|x, y| (x.at_ns, &x.kind, x.a, x.b).cmp(&(y.at_ns, &y.kind, y.a, y.b)));
+        c.transfers.sort_by(|x, y| {
+            (
+                x.posted_ns,
+                x.src,
+                x.dst,
+                x.wire_start_ns,
+                x.delivered_ns,
+                x.bytes,
+            )
+                .cmp(&(
+                    y.posted_ns,
+                    y.src,
+                    y.dst,
+                    y.wire_start_ns,
+                    y.delivered_ns,
+                    y.bytes,
+                ))
+        });
+        c.spans.sort_by(|x, y| {
+            (x.rank, x.start_ns, x.end_ns, &x.kind).cmp(&(y.rank, y.start_ns, y.end_ns, &y.kind))
+        });
+        c
+    }
+
     /// Serializes to the canonical [`Json`] tree.
     pub fn to_json(&self) -> Json {
         let events = self
@@ -499,6 +548,34 @@ mod tests {
         assert_ne!(a.to_json_string(), b.to_json_string());
         b.events[1].at_ns += 1;
         assert!(!a.same_execution(&b));
+    }
+
+    #[test]
+    fn canonicalized_erases_tie_order_but_not_semantics() {
+        let a = sample();
+        // Simulate a commuting adjacent swap: transpose the two events
+        // and renumber the seq/parent bookkeeping the swap perturbs.
+        let mut b = sample();
+        b.events.swap(0, 1);
+        for (i, e) in b.events.iter_mut().enumerate() {
+            e.seq = 100 + i as u64;
+            e.parent = e.parent.map(|_| 99);
+        }
+        b.meta.insert("perturb".into(), "invert_pair".into());
+        b.metrics.insert("engine.prof.wall_ns".into(), 1.0);
+        assert_ne!(a.to_json_string(), b.to_json_string());
+        assert_eq!(
+            a.canonicalized().to_json_string(),
+            b.canonicalized().to_json_string()
+        );
+        // A real semantic change — an event firing at a different
+        // instant — survives canonicalization.
+        let mut c = sample();
+        c.events[1].at_ns += 1;
+        assert_ne!(
+            a.canonicalized().to_json_string(),
+            c.canonicalized().to_json_string()
+        );
     }
 
     #[test]
