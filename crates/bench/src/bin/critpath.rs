@@ -36,7 +36,7 @@ use bench::cli::{Accept, PointCli};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: critpath {} [--out DIR] [--trace-cap N]\n       critpath --suite [--threads N] [--out DIR] [--trace-cap N]",
+        "usage: critpath {} [--out DIR] [--trace-cap N] [--elide]\n       critpath --suite [--threads N] [--out DIR] [--trace-cap N] [--elide]",
         bench::cli::POINT_USAGE
     );
     std::process::exit(2);
@@ -83,6 +83,7 @@ fn analyze_point(
     p: usize,
     m: u32,
     trace_cap: Option<usize>,
+    elide: bool,
 ) -> Analyzed {
     let bytes = if op == OpClass::Barrier { 0 } else { m };
     let comm = machine.communicator(p).expect("communicator size");
@@ -93,6 +94,7 @@ fn analyze_point(
             RunOptions {
                 provenance: true,
                 trace_limit: trace_cap,
+                elide,
                 ..RunOptions::default()
             },
         )
@@ -230,7 +232,7 @@ fn scan_vs_bcast(rows: &[(String, String, CritPath)]) {
 
 /// The fixed 21-point suite, analyzed with `threads` workers and written
 /// in canonical order from the merged results.
-fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
+fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>, elide: bool) {
     let suite = bench::perfgate::default_suite();
     std::fs::create_dir_all(out_dir).expect("create output directory");
 
@@ -239,7 +241,7 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
         threads,
         |i| {
             let pt = &suite[i];
-            let a = analyze_point(&pt.machine, pt.op, pt.nodes, pt.bytes, trace_cap);
+            let a = analyze_point(&pt.machine, pt.op, pt.nodes, pt.bytes, trace_cap, elide);
             let doc = decomposition_json(&pt.machine, pt.op, pt.nodes, pt.bytes, &a.cp);
             (
                 pt.machine.name().to_string(),
@@ -297,14 +299,14 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
 fn main() {
     let cli = parse_args();
     if cli.suite {
-        run_suite(cli.out_dir(), cli.threads, cli.trace_cap);
+        run_suite(cli.out_dir(), cli.threads, cli.trace_cap, cli.elide);
         return;
     }
 
     let machine = cli.machine.as_ref().expect("checked in parse_args");
     let op = cli.op.expect("checked in parse_args");
     let bytes = if op == OpClass::Barrier { 0 } else { cli.m };
-    let a = analyze_point(machine, op, cli.p, cli.m, cli.trace_cap);
+    let a = analyze_point(machine, op, cli.p, cli.m, cli.trace_cap, cli.elide);
 
     println!("{}", report::metrics::render(&a.manifest, &a.reg));
     println!();

@@ -39,7 +39,7 @@ use bench::cli::{Accept, PointCli};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: observe {} [--out DIR] [--profile] [--trace-cap N]\n       observe --suite [--threads N] [--out DIR] [--trace-cap N]",
+        "usage: observe {} [--out DIR] [--profile] [--trace-cap N] [--elide]\n       observe --suite [--threads N] [--out DIR] [--trace-cap N] [--elide]",
         bench::cli::POINT_USAGE
     );
     std::process::exit(2);
@@ -171,7 +171,7 @@ fn observe_point(
 /// The fixed 21-point suite in canonical order, run under full
 /// instrumentation with `threads` workers; every output file is written
 /// in canonical order from the merged results.
-fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
+fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>, elide: bool) {
     let suite = bench::perfgate::default_suite();
     std::fs::create_dir_all(out_dir).expect("create output directory");
 
@@ -187,6 +187,7 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
                 pt.bytes,
                 RunOptions {
                     trace_limit: trace_cap,
+                    elide,
                     ..RunOptions::default()
                 },
             );
@@ -199,6 +200,7 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
                 pt.bytes,
                 mpisim::TieBreakPolicy::InsertionOrder,
                 trace_cap,
+                elide,
             );
             let file_stem = stem(&pt.machine, pt.op, pt.nodes, pt.bytes);
             (
@@ -264,7 +266,7 @@ fn run_suite(out_dir: &str, threads: usize, trace_cap: Option<usize>) {
 fn main() {
     let (cli, profile) = parse_args();
     if cli.suite {
-        run_suite(cli.out_dir(), cli.threads, cli.trace_cap);
+        run_suite(cli.out_dir(), cli.threads, cli.trace_cap, cli.elide);
         return;
     }
 
@@ -274,6 +276,7 @@ fn main() {
     let options = RunOptions {
         profile,
         trace_limit: cli.trace_cap,
+        elide: cli.elide,
         ..RunOptions::default()
     };
     let point = observe_point(machine, op, cli.p, cli.m, options);

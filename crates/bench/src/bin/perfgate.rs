@@ -30,8 +30,8 @@
 //! 2 schema or I/O error.
 
 use bench::perfgate::{
-    compare, default_suite, drift, iso_date, perf_rows, run_suite, BenchReport, GateStatus,
-    SuiteConfig,
+    compare, default_suite, drift, elide_ab, iso_date, perf_rows, run_suite, BenchReport, ElideAb,
+    GateStatus, SuiteConfig,
 };
 use harness::{Protocol, SweepBuilder};
 use mpisim::OpClass;
@@ -133,6 +133,29 @@ fn run() -> i32 {
             .unwrap_or(0),
     );
 
+    // Schema fail-fast: parse the committed baseline BEFORE spending
+    // minutes on the fit sweep and timing suite, so a schema-version
+    // drift between the baseline document and this writer dies in
+    // seconds, not at the end of the run. A *missing* baseline is fine
+    // (handled after the run, and irrelevant under --update-baseline).
+    let baseline = if opts.update_baseline {
+        None
+    } else {
+        match std::fs::read_to_string(&opts.baseline) {
+            Ok(text) => match BenchReport::from_json(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("[perfgate] baseline {} invalid: {e}", opts.baseline);
+                    eprintln!(
+                        "[perfgate] refusing to run the suite against it — refresh with --update-baseline"
+                    );
+                    return 2;
+                }
+            },
+            Err(_) => None,
+        }
+    };
+
     let mut reg = MetricsRegistry::new();
     if opts.fit {
         eprintln!(
@@ -146,6 +169,48 @@ fn run() -> i32 {
     }
 
     let suite = default_suite();
+
+    // Event-elision A/B: every suite point with the analytic fast path
+    // off and on. Deterministic counters land in the report's metrics
+    // as net.elide.*; the table prints alongside the gate verdicts.
+    eprintln!(
+        "[perfgate] event-elision A/B ({} points x 2 runs)…",
+        suite.len()
+    );
+    let elide_rows = match elide_ab(&suite) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("[perfgate] elision A/B failed: {e}");
+            return 2;
+        }
+    };
+    let (mut admitted, mut fallbacks) = (0u64, 0u64);
+    for r in &elide_rows {
+        let stem = r.label.replace('/', ".");
+        reg.gauge(format!("net.elide.{stem}.events_off"), r.base_events as f64);
+        reg.gauge(
+            format!("net.elide.{stem}.events_on"),
+            r.elided_events as f64,
+        );
+        reg.gauge(format!("net.elide.{stem}.event_ratio"), r.event_ratio());
+        reg.gauge(
+            format!("net.elide.{stem}.admission_rate"),
+            r.admission_rate(),
+        );
+        admitted += r.admitted;
+        fallbacks += r.fallbacks;
+    }
+    reg.counter("net.elide.admitted", admitted);
+    reg.counter("net.elide.fallback", fallbacks);
+    reg.gauge(
+        "net.elide.admission_rate",
+        if admitted + fallbacks == 0 {
+            0.0
+        } else {
+            admitted as f64 / (admitted + fallbacks) as f64
+        },
+    );
+
     let protocol = if opts.quick {
         Protocol::quick()
     } else {
@@ -205,6 +270,8 @@ fn run() -> i32 {
     }
     eprintln!("[perfgate] wrote {par_path}");
 
+    println!("{}", render_elide_table(&elide_rows));
+
     if opts.update_baseline {
         if let Err(e) = std::fs::write(&opts.baseline, &doc) {
             eprintln!("[perfgate] cannot write baseline {}: {e}", opts.baseline);
@@ -218,23 +285,15 @@ fn run() -> i32 {
         return 0;
     }
 
-    let baseline = match std::fs::read_to_string(&opts.baseline) {
-        Ok(text) => match BenchReport::from_json(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("[perfgate] baseline {} invalid: {e}", opts.baseline);
-                return 2;
-            }
-        },
-        Err(_) => {
-            println!(
-                "no baseline at {} — run with --update-baseline to create one",
-                opts.baseline
-            );
-            let verdicts = compare(&current, &empty_baseline(&current));
-            println!("{}", report::perf::render(&perf_rows(&current, &verdicts)));
-            return 0;
-        }
+    // Parsed (and schema-checked) before the suite ran.
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {} — run with --update-baseline to create one",
+            opts.baseline
+        );
+        let verdicts = compare(&current, &empty_baseline(&current));
+        println!("{}", report::perf::render(&perf_rows(&current, &verdicts)));
+        return 0;
     };
 
     let verdicts = compare(&current, &baseline);
@@ -275,6 +334,57 @@ fn run() -> i32 {
 
 fn suite_progress_stride(total: usize) -> usize {
     (total / 10).max(1)
+}
+
+/// The elision A/B as a table: events per message off vs on, the
+/// reduction factor, the admission rate, and the (host-side, unguarded)
+/// wall clocks of the paired runs.
+fn render_elide_table(rows: &[ElideAb]) -> String {
+    let mut t = report::Table::new([
+        "point",
+        "msgs",
+        "ev/msg off",
+        "ev/msg on",
+        "ratio",
+        "admit%",
+        "wall off us",
+        "wall on us",
+    ]);
+    for r in rows {
+        let per_msg = |events: u64| {
+            if r.messages == 0 {
+                format!("{events}")
+            } else {
+                format!("{:.1}", events as f64 / r.messages as f64)
+            }
+        };
+        t.push_row([
+            r.label.clone(),
+            r.messages.to_string(),
+            per_msg(r.base_events),
+            per_msg(r.elided_events),
+            format!("{:.1}x", r.event_ratio()),
+            format!("{:.1}", 100.0 * r.admission_rate()),
+            format!("{:.0}", r.wall_off_us),
+            format!("{:.0}", r.wall_on_us),
+        ]);
+    }
+    let mut out = String::from("event elision A/B (net.elide.*, analytic fast path off vs on):\n");
+    out.push_str(&t.render());
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| r.elided_events > 0)
+        .max_by(|a, b| a.event_ratio().total_cmp(&b.event_ratio()))
+    {
+        out.push_str(&format!(
+            "best event cut: {} {:.1}x fewer events ({} of {} sends elided)\n",
+            best.label,
+            best.event_ratio(),
+            best.admitted,
+            best.admitted + best.fallbacks,
+        ));
+    }
+    out
 }
 
 /// A baseline with no points, so every current point reads as `new`.

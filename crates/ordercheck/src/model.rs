@@ -94,6 +94,9 @@ impl StaticModel {
             TypedEvent::ScheduleStep { rank, .. } => &[rank],
             // A link grant resumes the granted rank's transfer.
             TypedEvent::LinkGrant { grantee, .. } => &[grantee],
+            // A bulk completion drains the pending-send heap and can
+            // wake the receiving rank of each drained transfer.
+            TypedEvent::BulkComplete { rank, .. } => &[rank],
             TypedEvent::Timer { .. } | TypedEvent::Continuation { .. } => &[],
         };
         for &r in advanced {

@@ -1,0 +1,156 @@
+//! Property tests for the event-elision fast path (`ExecConfig::elide`):
+//!
+//! * an elided run and the event-by-event reference run of the same
+//!   point produce canonically-identical run records — byte-identical
+//!   after [`obs::record::RunRecord::canonicalized`] erases the
+//!   scheduling bookkeeping (event seqs / provenance parents) that
+//!   elision legitimately changes — across all seven collectives, all
+//!   three machines, random sizes, and random per-rank start skew;
+//! * critical-path blame totals and the contention census are exactly
+//!   equal, not just canonically equal (the FIFO occupancy watermark
+//!   commits are preserved on the fast path);
+//! * points where admission mostly fails (root-serialized gather and
+//!   scatter funnel every transfer through one node's links) exercise
+//!   the fallback and still certify.
+
+use desim::check::{forall, Gen};
+use desim::SimTime;
+use mpisim::exec::ExecConfig;
+use mpisim::{Machine, OpClass, Rank};
+use obs::diff::diff;
+use obs::{MetricsRegistry, RunRecord, Verdict};
+
+/// Runs one point under full instrumentation with per-rank start skew,
+/// returning the run record plus the elision admission counters
+/// `(attempts, admitted)`.
+fn record_skewed(
+    machine: &Machine,
+    op: OpClass,
+    p: usize,
+    m: u32,
+    skew_ns: &[u64],
+    elide: bool,
+) -> (RunRecord, (u64, u64)) {
+    let bytes = if op == OpClass::Barrier { 0 } else { m };
+    let comm = machine.communicator(p).expect("communicator size");
+    let schedule = comm.schedule(op, Rank(0), bytes).expect("schedule build");
+    let cfg = ExecConfig {
+        wire: machine.wire_config(),
+        placement: machine.placement(),
+        record_trace: true,
+        provenance: true,
+        event_log: true,
+        start_times: Some(skew_ns.iter().map(|&ns| SimTime::from_nanos(ns)).collect()),
+        elide,
+        ..ExecConfig::default()
+    };
+    let (out, observed) =
+        mpisim::execute_observed(machine.spec(), &[&schedule], &cfg).expect("observed execution");
+    let stats = (observed.elide.attempts(), observed.elide.admitted);
+    let cp = mpisim::critpath::analyze(&out, &observed);
+    let mut reg = MetricsRegistry::new();
+    mpisim::observe::export_metrics(&out, &observed, &mut reg);
+    cp.export_metrics(&mut reg);
+    let rec = mpisim::record::run_record(machine.name(), &out, &observed, Some(&cp), Some(&reg));
+    (rec, stats)
+}
+
+fn random_point(g: &mut Gen) -> (Machine, OpClass, usize, u32) {
+    let machine = Machine::all()[g.usize(0, 2)].clone();
+    let op = *g.pick(&OpClass::COLLECTIVES);
+    let p = 1 << g.usize(1, 5); // 2..32 ranks
+    let bytes = 1 << g.usize(2, 14); // 4 B .. 16 KB
+    (machine, op, p, bytes)
+}
+
+/// Asserts the elision-equivalence contract for one point: canonical
+/// byte-identity with certification, plus exact blame/census equality.
+fn assert_equivalent(base: &RunRecord, fast: &RunRecord, label: &str) {
+    let report = diff(&base.canonicalized(), &fast.canonicalized());
+    assert_eq!(
+        report.verdict,
+        Verdict::ByteIdentical,
+        "{label}: elided timeline must canonicalize identically\nfirst divergence: {:#?}",
+        report.first
+    );
+    assert!(report.certified, "{label}: no drops, must certify");
+    assert_eq!(
+        base.blame_ns, fast.blame_ns,
+        "{label}: critical-path blame totals must match exactly"
+    );
+    assert_eq!(
+        base.census, fast.census,
+        "{label}: contention census must match exactly (FIFO commits preserved)"
+    );
+    assert_eq!(base.elapsed_ns, fast.elapsed_ns, "{label}: elapsed time");
+    assert_eq!(
+        base.finish_ns, fast.finish_ns,
+        "{label}: completion instants"
+    );
+}
+
+#[test]
+fn elided_runs_are_canonically_identical_under_random_skew() {
+    forall("elide_equivalence_skewed", 14, |g| {
+        let (machine, op, p, bytes) = random_point(g);
+        // Half the points run with zero skew (the symmetric worst case
+        // for tie ordering), half with random per-rank start offsets.
+        let skew: Vec<u64> = if g.usize(0, 1) == 0 {
+            vec![0; p]
+        } else {
+            (0..p).map(|_| g.u64(0, 5_000)).collect()
+        };
+        let label = format!(
+            "{} {} p={p} m={bytes} skew={skew:?}",
+            machine.name(),
+            op.key()
+        );
+        let (base, _) = record_skewed(&machine, op, p, bytes, &skew, false);
+        let (fast, _) = record_skewed(&machine, op, p, bytes, &skew, true);
+        assert_equivalent(&base, &fast, &label);
+    });
+}
+
+#[test]
+fn every_collective_on_every_machine_elides_identically() {
+    for machine in Machine::all() {
+        for &op in OpClass::COLLECTIVES.iter() {
+            let skew = vec![0u64; 8];
+            let label = format!("{} {} p=8 m=512", machine.name(), op.key());
+            let (base, _) = record_skewed(&machine, op, 8, 512, &skew, false);
+            let (fast, _) = record_skewed(&machine, op, 8, 512, &skew, true);
+            assert_equivalent(&base, &fast, &label);
+        }
+    }
+}
+
+#[test]
+fn forced_fallback_points_exercise_the_slow_path_and_still_certify() {
+    // Root-serialized funnels: every transfer crosses the root's links,
+    // so the path-busy admission test fails for almost every send and
+    // the engine falls back to the event-by-event path mid-run.
+    let points = [
+        (Machine::sp2(), OpClass::Gather),
+        (Machine::paragon(), OpClass::Scatter),
+        (Machine::paragon(), OpClass::Gather),
+    ];
+    for (machine, op) in points {
+        let skew = vec![0u64; 64];
+        let label = format!("{} {} p=64 m=16384", machine.name(), op.key());
+        let (base, base_stats) = record_skewed(&machine, op, 64, 16384, &skew, false);
+        let (fast, (attempts, admitted)) = record_skewed(&machine, op, 64, 16384, &skew, true);
+        assert_eq!(base_stats, (0, 0), "{label}: reference run never elides");
+        assert!(attempts > 0, "{label}: elision was attempted");
+        assert!(
+            admitted < attempts,
+            "{label}: funnel points must hit the fallback"
+        );
+        // Known admission ceiling for these funnels is ~3.2%; a loose
+        // 10% bound catches the fast path silently over-admitting.
+        assert!(
+            admitted * 10 <= attempts,
+            "{label}: admission {admitted}/{attempts} should stay under 10%"
+        );
+        assert_equivalent(&base, &fast, &label);
+    }
+}
